@@ -1,0 +1,68 @@
+// Command lockbench regenerates the paper's tables and figures on the
+// simulated Xeon.
+//
+// Usage:
+//
+//	lockbench -list
+//	lockbench -experiment fig11
+//	lockbench -experiment all -scale 4 -seed 7
+//
+// -scale lengthens every measurement window proportionally (1.0 = quick
+// defaults, tens of millions of cycles per point; the paper's 10-second
+// runs correspond to scale ≈ 1000 and take hours).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lockin/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments and exit")
+		id    = flag.String("experiment", "", "experiment id to run, or 'all'")
+		seed  = flag.Int64("seed", 42, "simulation RNG seed")
+		scale = flag.Float64("scale", 1.0, "measurement-window multiplier")
+		quick = flag.Bool("quick", false, "trim sweep grids (CI mode)")
+	)
+	flag.Parse()
+
+	if *list || *id == "" {
+		fmt.Println("experiments (one per paper table/figure):")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-12s %s\n", e.ID, e.Title)
+			fmt.Printf("  %-12s paper: %s\n", "", e.Paper)
+		}
+		if *id == "" && !*list {
+			fmt.Fprintln(os.Stderr, "\nuse -experiment <id> (or 'all') to run one")
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Quick: *quick}
+	var todo []experiments.Experiment
+	if *id == "all" {
+		todo = experiments.All()
+	} else {
+		e, err := experiments.Find(*id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		todo = []experiments.Experiment{e}
+	}
+	for _, e := range todo {
+		start := time.Now()
+		fmt.Printf("### %s — %s\n", e.ID, e.Title)
+		fmt.Printf("### paper: %s\n\n", e.Paper)
+		for _, tab := range e.Run(opts) {
+			fmt.Println(tab)
+		}
+		fmt.Printf("### %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,104 @@
+// Command mutexeetune is the reproduction of the paper's fine-tuning
+// script (§5.1): it runs the calibration microbenchmarks on the simulated
+// platform and prints the MUTEXEE configuration parameters derived from
+// the measured futex latencies and coherence costs.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"lockin/internal/machine"
+	"lockin/internal/sim"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "simulation RNG seed")
+	flag.Parse()
+
+	fmt.Println("MUTEXEE platform tuning (simulated Xeon)")
+	fmt.Println("----------------------------------------")
+
+	sleepLat := measureSleepLatency(*seed)
+	turnaround := measureTurnaround(*seed)
+	coherence := measureCoherence(*seed)
+
+	fmt.Printf("futex sleep call latency:   %6d cycles\n", sleepLat)
+	fmt.Printf("futex wake turnaround:      %6d cycles\n", turnaround)
+	fmt.Printf("max coherence latency:      %6d cycles\n", coherence)
+	fmt.Println()
+
+	// The paper's rules of thumb: the lock-side spin must comfortably
+	// exceed the sleep latency (spinning less than ≈4000 cycles makes
+	// MUTEXEE behave like MUTEX), and the unlock-side wait must cover the
+	// worst-case line transfer.
+	spinLock := roundUp(turnaround, 1000)
+	spinUnlock := roundUp(coherence, 128)
+	fmt.Println("recommended MutexeeOptions:")
+	fmt.Printf("  SpinLock:    %d\n", spinLock)
+	fmt.Printf("  SpinUnlock:  %d\n", spinUnlock)
+	fmt.Printf("  MutexLock:   %d\n", spinLock/32)
+	fmt.Printf("  MutexUnlock: %d\n", spinUnlock/3)
+	fmt.Println("  Pol:         machine.WaitMbar (memory-barrier pausing)")
+}
+
+func roundUp(v sim.Cycles, q sim.Cycles) sim.Cycles { return (v + q - 1) / q * q }
+
+// measureSleepLatency times the futex sleep path via a wait that misses
+// (EAGAIN) plus the descheduling tail from configuration.
+func measureSleepLatency(seed int64) sim.Cycles {
+	m := machine.NewDefault(seed)
+	line := m.NewLine("word")
+	w := m.NewFutexWord(line)
+	var cost sim.Cycles
+	m.Spawn("probe", func(t *machine.Thread) {
+		line.Init(0)
+		start := t.Proc().Now()
+		t.FutexWait(w, 1, 0) // mismatch: measures the call overhead
+		cost = t.Proc().Now() - start
+	})
+	m.K.Drain()
+	return cost + m.Config().Futex.Deschedule
+}
+
+// measureTurnaround times wake-to-running for a freshly slept thread.
+func measureTurnaround(seed int64) sim.Cycles {
+	m := machine.NewDefault(seed)
+	line := m.NewLine("word")
+	line.Init(1)
+	w := m.NewFutexWord(line)
+	var resumed, issued sim.Cycles
+	m.Spawn("sleeper", func(t *machine.Thread) {
+		t.FutexWait(w, 1, 0)
+		resumed = t.Proc().Now()
+	})
+	m.Spawn("waker", func(t *machine.Thread) {
+		t.Compute(50_000)
+		issued = t.Proc().Now()
+		t.FutexWake(w, 1)
+	})
+	m.K.Drain()
+	return resumed - issued
+}
+
+// measureCoherence times a cross-socket line handover.
+func measureCoherence(seed int64) sim.Cycles {
+	m := machine.NewDefault(seed)
+	line := m.NewLine("probe")
+	var cost sim.Cycles
+	ready := false
+	m.Spawn("writer", func(t *machine.Thread) {
+		t.Store(line, 1)
+		ready = true
+	})
+	m.Spawn("reader", func(t *machine.Thread) {
+		for !ready {
+			t.Compute(1000)
+		}
+		start := t.Proc().Now()
+		t.Swap(line, 2)
+		cost = t.Proc().Now() - start
+	})
+	m.K.Drain()
+	return 2 * cost
+}

@@ -1,0 +1,56 @@
+// Command powerprof charts the simulated machine's power breakdown
+// (Figure 2 style): total, package, cores and DRAM Watts against the
+// number of active hyper-threads, at either voltage-frequency point.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"lockin/internal/core"
+	"lockin/internal/machine"
+	"lockin/internal/metrics"
+	"lockin/internal/power"
+	"lockin/internal/systems"
+	"lockin/internal/workload"
+)
+
+func main() {
+	var (
+		seed = flag.Int64("seed", 42, "simulation RNG seed")
+		vfs  = flag.String("vf", "max", "voltage-frequency point: min or max")
+		step = flag.Int("step", 5, "thread-count step")
+		mode = flag.String("workload", "mem", "workload: mem (memory stress), spin, sleep")
+	)
+	flag.Parse()
+
+	vf := power.VFMax
+	if *vfs == "min" {
+		vf = power.VFMin
+	}
+	t := metrics.NewTable(fmt.Sprintf("power breakdown — %s workload, %s", *mode, vf),
+		"hyper-threads", "total(W)", "package(W)", "cores(W)", "DRAM(W)")
+	for n := 0; n <= 40; n += *step {
+		var p power.Breakdown
+		if n == 0 {
+			m := machine.NewDefault(*seed)
+			e0 := m.Meter.Energy()
+			m.K.Run(2_000_000)
+			p = m.Meter.Energy().Sub(e0).Power(m.K.Now(), m.Config().Power.BaseFreqGHz)
+		} else {
+			var d systems.Definition
+			switch *mode {
+			case "spin":
+				d = systems.WaitingStress(n, machine.WaitMbar, 2_300_000)
+			case "sleep":
+				d = systems.SleepingStress(n)
+			default:
+				d = systems.MemoryStress(n, vf)
+			}
+			r := d.Run(machine.DefaultConfig(*seed), workload.FactoryFor(core.KindMutex), 300_000, 2_000_000)
+			p = r.Power()
+		}
+		t.AddRow(n, p.Total, p.Package, p.Cores, p.DRAM)
+	}
+	fmt.Println(t)
+}

@@ -1,0 +1,85 @@
+// Polysweep reproduces the POLY correlation analysis (Figure 12) as a
+// library-user example: it sweeps contention levels (threads × critical
+// sections × lock counts) across all six algorithms, prints the
+// normalized throughput↔TPP scatter as an ASCII plot, and reports the
+// Pearson correlation and best-lock agreement.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"lockin"
+	"lockin/internal/metrics"
+	"lockin/internal/sim"
+)
+
+func main() {
+	threads := []int{1, 4, 16}
+	css := []sim.Cycles{500, 2000, 8000}
+	lockCounts := []int{1, 16, 256}
+
+	var thrs, tpps []float64
+	agree, total := 0, 0
+	for _, n := range threads {
+		for _, cs := range css {
+			for _, lc := range lockCounts {
+				bestThr, bestTPP := -1, -1
+				var bestThrV, bestTPPV float64
+				for i, k := range lockin.Kinds() {
+					cfg := lockin.DefaultMicroConfig(11)
+					cfg.Factory = lockin.FactoryFor(k)
+					cfg.Threads = n
+					cfg.CS = cs
+					cfg.Outside = 6*cs + 1000
+					cfg.Locks = lc
+					cfg.Duration = 4_000_000
+					r := lockin.RunMicro(cfg)
+					thrs = append(thrs, r.Throughput())
+					tpps = append(tpps, r.TPP())
+					if r.Throughput() > bestThrV {
+						bestThrV, bestThr = r.Throughput(), i
+					}
+					if r.TPP() > bestTPPV {
+						bestTPPV, bestTPP = r.TPP(), i
+					}
+				}
+				total++
+				if bestThr == bestTPP {
+					agree++
+				}
+			}
+		}
+	}
+
+	nt := metrics.Normalize(thrs)
+	ne := metrics.Normalize(tpps)
+	plot(nt, ne)
+	fmt.Printf("\nconfigurations: %d × %d locks\n", total, len(lockin.Kinds()))
+	fmt.Printf("pearson r (throughput vs TPP): %.3f\n", metrics.Pearson(nt, ne))
+	fmt.Printf("best-throughput lock == best-TPP lock: %.0f%% (paper: 85%%)\n",
+		100*float64(agree)/float64(total))
+}
+
+// plot renders a crude scatter of normalized TPP (y) vs throughput (x).
+func plot(xs, ys []float64) {
+	const size = 24
+	grid := make([][]byte, size)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", size))
+	}
+	for i := range xs {
+		x := int(xs[i] * (size - 1))
+		y := size - 1 - int(ys[i]*(size-1))
+		grid[y][x] = '*'
+	}
+	fmt.Println("normalized TPP (y) vs normalized throughput (x); diagonal = POLY")
+	for i, row := range grid {
+		d := size - 1 - i
+		line := []byte(row)
+		if line[d] == ' ' {
+			line[d] = '.'
+		}
+		fmt.Printf("|%s|\n", line)
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"sync"
+
+	"lockin/internal/coherence"
+	"lockin/internal/machine"
+	"lockin/internal/sim"
+)
+
+// This file implements the lock designs the paper discusses beyond its
+// six evaluated algorithms: exponential-backoff test-and-set (Anderson
+// [15], Agarwal & Cherian [13]), a hierarchical NUMA-aware ticket lock in
+// the spirit of HCLH/HBO/cohorting [25, 43, 54], and the monitor/mwait
+// lock that §8 identifies as the payoff of user-level mwait support.
+
+// BackoffTAS is test-and-set with bounded exponential backoff: failed
+// acquirers pause for exponentially growing intervals instead of
+// hammering the line, trading acquisition latency for far less coherence
+// traffic than plain TAS.
+type BackoffTAS struct {
+	m    *machine.Machine
+	line *coherence.Line
+	// MinBackoff/MaxBackoff bound the pause interval in cycles.
+	MinBackoff sim.Cycles
+	MaxBackoff sim.Cycles
+}
+
+// NewBackoffTAS creates a backoff test-and-set lock with the classic
+// 2^k schedule bounded to [min, max].
+func NewBackoffTAS(m *machine.Machine, min, max sim.Cycles) *BackoffTAS {
+	if min == 0 {
+		min = 128
+	}
+	if max < min {
+		max = min * 64
+	}
+	return &BackoffTAS{m: m, line: m.NewLine("tas-bo"), MinBackoff: min, MaxBackoff: max}
+}
+
+// Name implements Lock.
+func (l *BackoffTAS) Name() string { return "TAS-BO" }
+
+// Lock implements Lock.
+func (l *BackoffTAS) Lock(t *machine.Thread) {
+	backoff := l.MinBackoff
+	for {
+		if t.Swap(l.line, 1) == 0 {
+			return
+		}
+		// Back off without touching the line, then recheck.
+		t.SpinFor(backoff, machine.WaitMbar)
+		if backoff < l.MaxBackoff {
+			backoff *= 2
+			if backoff > l.MaxBackoff {
+				backoff = l.MaxBackoff
+			}
+		}
+	}
+}
+
+// Unlock implements Lock.
+func (l *BackoffTAS) Unlock(t *machine.Thread) { t.Store(l.line, 0) }
+
+// HTicket is a hierarchical (NUMA-aware) ticket lock: one ticket lock
+// per socket plus a global ticket lock. A thread first acquires its
+// socket's local lock, then the global one; consecutive handovers tend
+// to stay within a socket, avoiding cross-socket line transfers — the
+// hierarchical-lock idea of [34, 43, 54] applied to TICKET.
+type HTicket struct {
+	m      *machine.Machine
+	global *Ticket
+	local  []*Ticket
+}
+
+// NewHTicket creates a hierarchical ticket lock over the machine's
+// socket topology.
+func NewHTicket(m *machine.Machine, pol machine.WaitPolicy) *HTicket {
+	l := &HTicket{m: m, global: NewTicket(m, pol)}
+	for s := 0; s < m.Topo.Sockets; s++ {
+		l.local = append(l.local, NewTicket(m, pol))
+	}
+	return l
+}
+
+// Name implements Lock.
+func (l *HTicket) Name() string { return "HTICKET" }
+
+func (l *HTicket) socketOf(t *machine.Thread) int {
+	ctx := t.Ctx()
+	if ctx < 0 {
+		return 0
+	}
+	return l.m.Topo.SocketOf(ctx)
+}
+
+// Lock implements Lock.
+func (l *HTicket) Lock(t *machine.Thread) {
+	l.local[l.socketOf(t)].Lock(t)
+	l.global.Lock(t)
+}
+
+// Unlock implements Lock. The unlocking thread may have migrated across
+// sockets while waiting; it must release the local lock it acquired, so
+// the socket is re-derived from the same call order (contexts only
+// change across descheduling, and a lock holder never sleeps here).
+func (l *HTicket) Unlock(t *machine.Thread) {
+	s := l.socketOf(t)
+	l.global.Unlock(t)
+	l.local[s].Unlock(t)
+}
+
+// MwaitLock is the §8 "what if" lock: waiters block their hardware
+// context with user-level monitor/mwait instead of either polling or
+// making futex calls, modelling the SPARC M7-style support the paper
+// argues for (no kernel crossing, fast exit). Compare with
+// machine.WaitMwait, the paper's kernel-device workaround.
+type MwaitLock struct {
+	m    *machine.Machine
+	line *coherence.Line
+}
+
+// NewMwaitLock creates a monitor/mwait-based lock.
+func NewMwaitLock(m *machine.Machine) *MwaitLock {
+	return &MwaitLock{m: m, line: m.NewLine("mwait-lock")}
+}
+
+// Name implements Lock.
+func (l *MwaitLock) Name() string { return "MWAIT" }
+
+// Lock implements Lock.
+func (l *MwaitLock) Lock(t *machine.Thread) {
+	for {
+		if t.CAS(l.line, 0, 1) {
+			return
+		}
+		// monitor the line, mwait until it changes, then retry.
+		t.SpinUntil(l.line, isZero, machine.WaitMwaitUser)
+	}
+}
+
+// Unlock implements Lock.
+func (l *MwaitLock) Unlock(t *machine.Thread) { t.Store(l.line, 0) }
+
+// KernelMwaitLock is MwaitLock built on today's hardware: mwait needs
+// kernel privileges, so every wait pays the virtual-device crossing and
+// the slow exit (§4.2) — the variant the paper measured and dismissed.
+type KernelMwaitLock struct {
+	m    *machine.Machine
+	line *coherence.Line
+}
+
+// NewKernelMwaitLock creates the kernel-assisted monitor/mwait lock.
+func NewKernelMwaitLock(m *machine.Machine) *KernelMwaitLock {
+	return &KernelMwaitLock{m: m, line: m.NewLine("mwait-klock")}
+}
+
+// Name implements Lock.
+func (l *KernelMwaitLock) Name() string { return "MWAIT-K" }
+
+// Lock implements Lock.
+func (l *KernelMwaitLock) Lock(t *machine.Thread) {
+	for {
+		if t.CAS(l.line, 0, 1) {
+			return
+		}
+		t.SpinUntil(l.line, isZero, machine.WaitMwait)
+	}
+}
+
+// Unlock implements Lock.
+func (l *KernelMwaitLock) Unlock(t *machine.Thread) { t.Store(l.line, 0) }
+
+// FairnessTracker computes Jain's fairness index over per-thread
+// acquisition counts: 1.0 means perfectly even service, 1/n means one
+// thread monopolized the lock.
+type FairnessTracker struct {
+	mu     sync.Mutex
+	counts map[int]uint64
+}
+
+// NewFairnessTracker returns an empty tracker.
+func NewFairnessTracker() *FairnessTracker {
+	return &FairnessTracker{counts: make(map[int]uint64)}
+}
+
+// Note records one acquisition by thread id.
+func (f *FairnessTracker) Note(id int) {
+	f.mu.Lock()
+	f.counts[id]++
+	f.mu.Unlock()
+}
+
+// Count returns thread id's acquisitions.
+func (f *FairnessTracker) Count(id int) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts[id]
+}
+
+// Jain returns Jain's fairness index (Σx)² / (n·Σx²), or 0 when empty.
+func (f *FairnessTracker) Jain() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.counts) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, c := range f.counts {
+		x := float64(c)
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(f.counts)) * sumSq)
+}
+
+// Tracked wraps a Lock and records per-thread acquisitions for fairness
+// analysis.
+type Tracked struct {
+	inner   Lock
+	Tracker *FairnessTracker
+}
+
+// NewTracked wraps l with a fairness tracker.
+func NewTracked(l Lock) *Tracked {
+	return &Tracked{inner: l, Tracker: NewFairnessTracker()}
+}
+
+// Name implements Lock.
+func (l *Tracked) Name() string { return l.inner.Name() + "+fairness" }
+
+// Lock implements Lock, recording the acquisition.
+func (l *Tracked) Lock(t *machine.Thread) {
+	l.inner.Lock(t)
+	l.Tracker.Note(t.ID())
+}
+
+// Unlock implements Lock.
+func (l *Tracked) Unlock(t *machine.Thread) { l.inner.Unlock(t) }

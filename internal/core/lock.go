@@ -1,0 +1,98 @@
+// Package core implements the paper's primary contribution: the lock
+// algorithms under study — the spinlocks TAS, TTAS, TICKET, MCS and CLH,
+// a glibc-style futex MUTEX, and MUTEXEE, the paper's redesigned mutex —
+// together with condition variables and a reader-writer wrapper, all
+// running on the simulated machine.
+//
+// Every algorithm follows the paper's §2 taxonomy: spinlocks differ in
+// their busy-waiting pattern (global vs local spinning, pausing
+// technique), while the futex-based locks differ in when they give up
+// spinning and how they hand the lock over.
+package core
+
+import (
+	"fmt"
+
+	"lockin/internal/machine"
+)
+
+// Lock is the mutual-exclusion abstraction all algorithms implement.
+type Lock interface {
+	// Name returns the algorithm name (e.g. "TICKET").
+	Name() string
+	// Lock acquires the lock for the calling simulated thread.
+	Lock(t *machine.Thread)
+	// Unlock releases the lock.
+	Unlock(t *machine.Thread)
+}
+
+// Kind enumerates the built-in lock algorithms.
+type Kind int
+
+const (
+	// KindMutex is the glibc-style futex mutex (sleeps under contention).
+	KindMutex Kind = iota
+	// KindTAS is test-and-set: global spinning with atomics.
+	KindTAS
+	// KindTTAS is test-and-test-and-set: local spinning, then an atomic.
+	KindTTAS
+	// KindTicket is the FIFO ticket lock.
+	KindTicket
+	// KindMCS is the Mellor-Crummey–Scott queue lock.
+	KindMCS
+	// KindCLH is the Craig–Landin–Hagersten queue lock.
+	KindCLH
+	// KindMutexee is the paper's optimized futex mutex.
+	KindMutexee
+
+	numKinds
+)
+
+var kindNames = [...]string{"MUTEX", "TAS", "TTAS", "TICKET", "MCS", "CLH", "MUTEXEE"}
+
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// AllKinds returns every built-in algorithm, in the paper's table order.
+func AllKinds() []Kind {
+	out := make([]Kind, 0, numKinds)
+	for k := Kind(0); k < numKinds; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// ParseKind resolves an algorithm name (case-sensitive, as printed).
+func ParseKind(name string) (Kind, error) {
+	for k := Kind(0); k < numKinds; k++ {
+		if kindNames[k] == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown lock kind %q", name)
+}
+
+// New instantiates a lock of the given kind with default options.
+func New(m *machine.Machine, k Kind) Lock {
+	switch k {
+	case KindMutex:
+		return NewMutex(m, DefaultMutexOptions())
+	case KindTAS:
+		return NewTAS(m)
+	case KindTTAS:
+		return NewTTAS(m, machine.WaitMbar)
+	case KindTicket:
+		return NewTicket(m, machine.WaitMbar)
+	case KindMCS:
+		return NewMCS(m, machine.WaitMbar)
+	case KindCLH:
+		return NewCLH(m, machine.WaitMbar)
+	case KindMutexee:
+		return NewMutexee(m, DefaultMutexeeOptions())
+	}
+	panic(fmt.Sprintf("core: unknown kind %v", k))
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"lockin/internal/coherence"
+	"lockin/internal/futex"
+	"lockin/internal/machine"
+	"lockin/internal/sim"
+)
+
+// MutexeeMode is the operating mode of a MUTEXEE lock (§5.1).
+type MutexeeMode int
+
+const (
+	// ModeSpin favours user-space handovers: long lock spin, and the
+	// unlock waits to see whether a spinner grabs the lock before it
+	// issues a futex wake.
+	ModeSpin MutexeeMode = iota
+	// ModeMutex avoids useless spinning on lengthy critical sections:
+	// short spins on both paths.
+	ModeMutex
+)
+
+func (m MutexeeMode) String() string {
+	if m == ModeMutex {
+		return "mutex"
+	}
+	return "spin"
+}
+
+// MutexeeOptions configures MUTEXEE. The defaults implement Table 1 and
+// §5.1 of the paper.
+type MutexeeOptions struct {
+	SpinLock    sim.Cycles         // lock-side spin budget in spin mode (≈8000)
+	SpinUnlock  sim.Cycles         // unlock-side user-space wait in spin mode (≈384)
+	MutexLock   sim.Cycles         // lock-side spin budget in mutex mode (≈256)
+	MutexUnlock sim.Cycles         // unlock-side wait in mutex mode (≈128)
+	Pol         machine.WaitPolicy // MUTEXEE pauses with a memory barrier
+
+	// Adaptive enables the periodic spin/mutex mode decision based on the
+	// futex-handover ratio.
+	Adaptive    bool
+	AdaptPeriod uint64  // acquisitions per decision window
+	FutexRatio  float64 // switch to mutex mode above this sleep ratio
+
+	// UnlockWait enables the "wait in user space" step of unlock — the
+	// design point the paper calls crucial for power. Disable to ablate.
+	UnlockWait bool
+
+	// Timeout bounds futex sleeps to cap tail latency (0 = none). A
+	// thread woken by timeout spins until it acquires the lock and never
+	// sleeps again for that acquisition (§5.1).
+	Timeout sim.Cycles
+
+	LockOverhead   sim.Cycles
+	UnlockOverhead sim.Cycles
+}
+
+// DefaultMutexeeOptions returns the paper's defaults for the Xeon.
+func DefaultMutexeeOptions() MutexeeOptions {
+	return MutexeeOptions{
+		SpinLock:       8000,
+		SpinUnlock:     384,
+		MutexLock:      256,
+		MutexUnlock:    128,
+		Pol:            machine.WaitMbar,
+		Adaptive:       true,
+		AdaptPeriod:    512,
+		FutexRatio:     0.30,
+		UnlockWait:     true,
+		LockOverhead:   30,
+		UnlockOverhead: 30,
+	}
+}
+
+// MutexeeStats counts lock-level events, including how handovers happen.
+type MutexeeStats struct {
+	Acquisitions  uint64
+	Sleeps        uint64 // futex-wait invocations
+	Wakes         uint64 // futex-wake invocations issued
+	SkippedWakes  uint64 // unlocks resolved by a user-space handover
+	Timeouts      uint64 // sleeps ended by timeout
+	ModeSwitches  uint64
+	SleptAcquires uint64 // acquisitions that slept at least once
+}
+
+// Mutexee is the paper's optimized futex mutex. The lock word packs the
+// held bit (bit 0) with a sleeper count (bits 32+), so the release knows
+// whether anyone could need a futex wake, and sleepers never get lost
+// when the lock is handed over in user space.
+type Mutexee struct {
+	m    *machine.Machine
+	line *coherence.Line
+	w    *futex.Word
+	o    MutexeeOptions
+
+	mode  MutexeeMode
+	stats MutexeeStats
+	// Current adaptation window.
+	winAcqs, winSleeps uint64
+}
+
+const (
+	lockedBit  = uint64(1)
+	sleeperOne = uint64(1) << 32
+)
+
+func sleepers(v uint64) uint64 { return v >> 32 }
+func isUnlocked(v uint64) bool { return v&lockedBit == 0 }
+
+// NewMutexee creates a MUTEXEE with the given options.
+func NewMutexee(m *machine.Machine, o MutexeeOptions) *Mutexee {
+	l := &Mutexee{m: m, line: m.NewLine("mutexee"), o: o}
+	// Sleepers wait on the locked bit only: the sleeper count lives in
+	// the same cache line but must not EAGAIN concurrent waiters.
+	l.w = m.Futex.NewWord(func() uint64 { return l.line.Val() & lockedBit })
+	return l
+}
+
+// Name implements Lock.
+func (l *Mutexee) Name() string { return "MUTEXEE" }
+
+// Mode returns the current operating mode.
+func (l *Mutexee) Mode() MutexeeMode { return l.mode }
+
+// Stats returns the event counters.
+func (l *Mutexee) Stats() MutexeeStats { return l.stats }
+
+// Options returns the configuration (for harness reporting).
+func (l *Mutexee) Options() MutexeeOptions { return l.o }
+
+// tryLock sets the held bit if clear, preserving the sleeper count.
+func (l *Mutexee) tryLock(t *machine.Thread) bool {
+	_, ok := t.RMW(l.line, func(v uint64) (uint64, bool) {
+		return v | lockedBit, isUnlocked(v)
+	})
+	return ok
+}
+
+func (l *Mutexee) lockSpin() sim.Cycles {
+	if l.mode == ModeMutex {
+		return l.o.MutexLock
+	}
+	return l.o.SpinLock
+}
+
+func (l *Mutexee) unlockSpin() sim.Cycles {
+	if l.mode == ModeMutex {
+		return l.o.MutexUnlock
+	}
+	return l.o.SpinUnlock
+}
+
+// Lock implements Lock.
+func (l *Mutexee) Lock(t *machine.Thread) {
+	t.Compute(l.o.LockOverhead)
+	slept := false
+	if !l.tryLock(t) {
+		l.slowLock(t, &slept)
+	}
+	l.noteAcquire(slept)
+}
+
+func (l *Mutexee) slowLock(t *machine.Thread, slept *bool) {
+	for {
+		// Busy-wait for the lock within the mode's budget. The budget
+		// covers the whole spin phase: losing a release race does not
+		// refresh it, otherwise a thread under heavy contention would
+		// spin forever instead of going to sleep.
+		remaining := l.lockSpin()
+		acquired := false
+		for remaining > 0 {
+			start := t.Proc().Now()
+			_, ok := t.SpinUntilLimit(l.line, isUnlocked, l.o.Pol, remaining)
+			spent := t.Proc().Now() - start
+			if spent >= remaining {
+				remaining = 0
+			} else {
+				remaining -= spent
+			}
+			if !ok {
+				break
+			}
+			if l.tryLock(t) {
+				acquired = true
+				break
+			}
+		}
+		if acquired {
+			return
+		}
+		// Spin budget exhausted: announce ourselves and sleep.
+		old, _ := t.RMW(l.line, func(v uint64) (uint64, bool) { return v + sleeperOne, true })
+		if isUnlocked(old + sleeperOne) {
+			// Freed between the spin and the announcement: retract.
+			t.RMW(l.line, func(v uint64) (uint64, bool) { return v - sleeperOne, true })
+			if l.tryLock(t) {
+				return
+			}
+			continue
+		}
+		*slept = true
+		l.stats.Sleeps++
+		l.winSleeps++
+		r := t.FutexWait(l.w, lockedBit, l.o.Timeout)
+		t.RMW(l.line, func(v uint64) (uint64, bool) { return v - sleeperOne, true })
+		if r == futex.TimedOut {
+			l.stats.Timeouts++
+			// Woken by timeout: spin until acquired, never sleep again.
+			// The retry loop polls with atomic exchanges (global spinning,
+			// glibc-style), so a population of timed-out waiters inflates
+			// every operation on the lock line — the throughput price of
+			// bounding unfairness (Figure 10).
+			for {
+				if l.tryLock(t) {
+					return
+				}
+				t.SpinUntil(l.line, isUnlocked, machine.WaitGlobal)
+			}
+		}
+		// Woken (or EAGAIN): go back to spinning.
+	}
+}
+
+// Unlock implements Lock.
+func (l *Mutexee) Unlock(t *machine.Thread) {
+	t.Compute(l.o.UnlockOverhead)
+	// Release in user space, keeping the sleeper count intact.
+	old, _ := t.RMW(l.line, func(v uint64) (uint64, bool) { return v &^ lockedBit, true })
+	if sleepers(old) == 0 {
+		return
+	}
+	if l.o.UnlockWait {
+		// Wait briefly for a user-space handover: if some spinner takes
+		// the lock, the futex wake is unnecessary.
+		if _, ok := t.SpinUntilLimit(l.line, func(v uint64) bool { return !isUnlocked(v) },
+			l.o.Pol, l.unlockSpin()); ok {
+			l.stats.SkippedWakes++
+			return
+		}
+	}
+	l.stats.Wakes++
+	t.FutexWake(l.w, 1)
+}
+
+// noteAcquire updates statistics and runs the periodic mode decision.
+// The decision ratio compares futex sleeps (counted per invocation in
+// slowLock, where a single unlucky acquisition may sleep several times)
+// against acquisitions in the window — the paper's futex-to-busy-waiting
+// handover ratio.
+func (l *Mutexee) noteAcquire(slept bool) {
+	l.stats.Acquisitions++
+	l.winAcqs++
+	if slept {
+		l.stats.SleptAcquires++
+	}
+	if !l.o.Adaptive || l.winAcqs < l.o.AdaptPeriod {
+		return
+	}
+	ratio := float64(l.winSleeps) / float64(l.winAcqs)
+	want := ModeSpin
+	if ratio > l.o.FutexRatio {
+		want = ModeMutex
+	}
+	if want != l.mode {
+		l.mode = want
+		l.stats.ModeSwitches++
+	}
+	l.winAcqs, l.winSleeps = 0, 0
+}
+
+// Word exposes the raw lock-word value for diagnostics and tests.
+func (l *Mutexee) Word() uint64 { return l.line.Val() }

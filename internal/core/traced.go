@@ -1,0 +1,37 @@
+package core
+
+import (
+	"lockin/internal/machine"
+	"lockin/internal/trace"
+)
+
+// Traced wraps a Lock and records acquire/release events into a trace
+// recorder, giving a per-lock timeline of contention behaviour.
+type Traced struct {
+	inner Lock
+	rec   *trace.Recorder
+}
+
+// NewTraced wraps l with an event recorder of the given capacity.
+func NewTraced(l Lock, capacity int) *Traced {
+	return &Traced{inner: l, rec: trace.NewRecorder(capacity)}
+}
+
+// Recorder exposes the timeline.
+func (l *Traced) Recorder() *trace.Recorder { return l.rec }
+
+// Name implements Lock.
+func (l *Traced) Name() string { return l.inner.Name() + "+trace" }
+
+// Lock implements Lock.
+func (l *Traced) Lock(t *machine.Thread) {
+	l.rec.Record(trace.Event{At: t.Proc().Now(), Thread: t.ID(), Kind: trace.AcquireStart, Label: l.inner.Name()})
+	l.inner.Lock(t)
+	l.rec.Record(trace.Event{At: t.Proc().Now(), Thread: t.ID(), Kind: trace.Acquired, Label: l.inner.Name()})
+}
+
+// Unlock implements Lock.
+func (l *Traced) Unlock(t *machine.Thread) {
+	l.inner.Unlock(t)
+	l.rec.Record(trace.Event{At: t.Proc().Now(), Thread: t.ID(), Kind: trace.Released, Label: l.inner.Name()})
+}

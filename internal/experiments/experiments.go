@@ -1,0 +1,92 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation. Each runner regenerates the corresponding rows or
+// series on the simulated Xeon and annotates them with the paper's
+// reported expectation, so paper-vs-measured comparisons (EXPERIMENTS.md)
+// can be refreshed with a single command.
+//
+// Durations default to quick settings (tens of millions of cycles per
+// data point instead of the paper's 10-second runs); Options.Scale
+// lengthens every window proportionally for higher-fidelity runs.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"lockin/internal/machine"
+	"lockin/internal/metrics"
+	"lockin/internal/sim"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Seed is the RNG seed for the simulated machines.
+	Seed int64
+	// Scale multiplies every measurement window (1.0 = quick defaults).
+	Scale float64
+	// Quick further trims sweep grids for CI-style runs.
+	Quick bool
+}
+
+// DefaultOptions returns quick settings with a fixed seed.
+func DefaultOptions() Options { return Options{Seed: 42, Scale: 1.0} }
+
+func (o Options) dur(base sim.Cycles) sim.Cycles {
+	if o.Scale <= 0 {
+		return base
+	}
+	return sim.Cycles(float64(base) * o.Scale)
+}
+
+func (o Options) machine() machine.Config { return machine.DefaultConfig(o.Seed) }
+
+// Experiment is one reproducible table/figure.
+type Experiment struct {
+	// ID is the registry key (e.g. "fig11", "tbl2").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Paper summarizes what the paper reports, for side-by-side reading.
+	Paper string
+	// Run executes the experiment and returns its rendered tables.
+	Run func(o Options) []*metrics.Table
+}
+
+var registry = map[string]Experiment{}
+var order []string
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+	order = append(order, e.ID)
+}
+
+// All returns every experiment in registration order.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(order))
+	for _, id := range order {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+// IDs returns the sorted experiment ids.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return e, nil
+}

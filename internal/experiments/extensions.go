@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"lockin/internal/core"
+	"lockin/internal/machine"
+	"lockin/internal/metrics"
+	"lockin/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ext_future",
+		Title: "Extension — §8 future hardware: user-level mwait, hierarchical and backoff locks",
+		Paper: "§8 (qualitative): user-level monitor/mwait could cut busy-wait power without the kernel toll; hierarchical/backoff designs reduce coherence traffic",
+		Run:   runFutureExtensions,
+	})
+
+	register(Experiment{
+		ID:    "ext_fairness",
+		Title: "Extension — Jain fairness index across lock algorithms",
+		Paper: "§5 (qualitative): fair locks serve threads evenly; MUTEXEE trades fairness for throughput and power",
+		Run:   runFairnessExtension,
+	})
+}
+
+// runFutureExtensions compares the paper's six locks against the
+// extension designs on the contended single-lock workload.
+func runFutureExtensions(o Options) []*metrics.Table {
+	t := metrics.NewTable("Extension — future-hardware and classic alternatives (20 threads, 2000-cycle CS)",
+		"lock", "throughput(Kacq/s)", "TPP(Kacq/J)", "power(W)")
+	run := func(name string, f workload.LockFactory) {
+		cfg := microCfg(o, f, 20, 2000, 1)
+		cfg.Duration = o.dur(12_000_000)
+		r := workload.RunMicro(cfg)
+		t.AddRow(name, r.Throughput()/1e3, r.TPP()/1e3, r.Power().Total)
+	}
+	run("MUTEX", workload.FactoryFor(core.KindMutex))
+	run("TTAS", workload.FactoryFor(core.KindTTAS))
+	run("TICKET", workload.FactoryFor(core.KindTicket))
+	run("MUTEXEE", workload.FactoryFor(core.KindMutexee))
+	run("TAS-BO", func(m *machine.Machine) core.Lock { return core.NewBackoffTAS(m, 0, 0) })
+	run("HTICKET", func(m *machine.Machine) core.Lock { return core.NewHTicket(m, machine.WaitMbar) })
+	run("MWAIT (kernel)", func(m *machine.Machine) core.Lock {
+		return core.NewKernelMwaitLock(m)
+	})
+	run("MWAIT (user, §8)", func(m *machine.Machine) core.Lock { return core.NewMwaitLock(m) })
+	t.AddNote("MWAIT (user) models SPARC M7-style user-level monitor/mwait — the paper's §8 ask")
+	return []*metrics.Table{t}
+}
+
+// runFairnessExtension reports Jain's index per algorithm on a tight
+// contended loop — the quantitative face of the paper's fairness
+// trade-off discussion.
+func runFairnessExtension(o Options) []*metrics.Table {
+	t := metrics.NewTable("Extension — Jain fairness index (16 threads, 1500-cycle CS, tight loop)",
+		"lock", "jain", "throughput(Kacq/s)")
+	kinds := append([]core.Kind{}, evalKinds...)
+	for _, k := range kinds {
+		k := k
+		var tracked *core.Tracked
+		f := func(m *machine.Machine) core.Lock {
+			tracked = core.NewTracked(core.New(m, k))
+			return tracked
+		}
+		cfg := microCfg(o, f, 16, 1500, 1)
+		cfg.Outside = 300
+		cfg.Duration = o.dur(8_000_000)
+		r := workload.RunMicro(cfg)
+		t.AddRow(k.String(), tracked.Tracker.Jain(), r.Throughput()/1e3)
+	}
+	t.AddNote("1.0 = perfectly even service; MUTEXEE's unfairness is its efficiency lever")
+	return []*metrics.Table{t}
+}

@@ -1,0 +1,263 @@
+// Package futex simulates the Linux futex(2) subsystem the paper's MUTEX
+// and MUTEXEE locks are built on.
+//
+// The kernel keeps a hash table of buckets, each guarded by a kernel
+// spinlock and holding a wait queue. A FUTEX_WAIT enqueues the caller
+// behind the bucket lock and deschedules it; a FUTEX_WAKE dequeues up to n
+// waiters and makes them runnable. The model charges the latencies the
+// paper measures in §4.3:
+//
+//   - a sleep call costs ≈2100 cycles (syscall, hashing, bucket lock,
+//     enqueue, deschedule);
+//   - a wake call costs ≈2700 cycles, plus waiting behind the bucket lock
+//     when it races with a concurrent sleep on the same futex;
+//   - the woken thread needs ≥4000 more cycles (idle-state exit +
+//     scheduling) before it runs, giving the ≥7000-cycle turnaround;
+//   - threads that slept past the deep-idle threshold pay an exploded
+//     turnaround (Figure 6's right-hand side) — that part is charged by
+//     the sched package's C-state model.
+//
+// The bucket kernel lock is modelled as a FIFO resource: callers spin in
+// kernel space (SpinGlobal power) until the previous critical section
+// completes. This serialization is what the paper blames for SQLite
+// spending >40% of CPU time in the kernel's raw spin lock under MUTEX.
+package futex
+
+import (
+	"lockin/internal/power"
+	"lockin/internal/sched"
+	"lockin/internal/sim"
+)
+
+// Config holds the futex cost constants, in cycles.
+type Config struct {
+	SyscallEntry sim.Cycles // user→kernel crossing (both directions folded in)
+	BucketHold   sim.Cycles // bucket critical section (hashing, queue ops)
+	Deschedule   sim.Cycles // tail of the sleep path after enqueueing
+	WakeFixup    sim.Cycles // tail of the wake path (IPI, bookkeeping)
+	Buckets      int        // hash-table size (≈256 × #cores on Linux)
+}
+
+// DefaultConfig returns the Xeon calibration: sleep ≈2100 cycles,
+// wake call ≈2700 cycles.
+func DefaultConfig() Config {
+	return Config{
+		SyscallEntry: 700,
+		BucketHold:   1000,
+		Deschedule:   800,
+		WakeFixup:    700,
+		Buckets:      256 * 20,
+	}
+}
+
+// WaitResult describes how a FUTEX_WAIT returned.
+type WaitResult int
+
+const (
+	// Woken: a FUTEX_WAKE selected this waiter.
+	Woken WaitResult = iota
+	// ValMismatch: the futex word no longer held the expected value
+	// (EAGAIN); the caller must retry its user-space protocol.
+	ValMismatch
+	// TimedOut: the timeout expired before a wake arrived.
+	TimedOut
+)
+
+func (r WaitResult) String() string {
+	switch r {
+	case Woken:
+		return "woken"
+	case ValMismatch:
+		return "val-mismatch"
+	case TimedOut:
+		return "timed-out"
+	}
+	return "unknown"
+}
+
+// Stats counts futex activity.
+type Stats struct {
+	Waits        uint64
+	WaitMisses   uint64 // EAGAIN returns
+	Wakes        uint64 // wake calls
+	WokenThreads uint64
+	Timeouts     uint64
+	BucketWait   sim.Cycles // cycles spent spinning on bucket kernel locks
+}
+
+// Word is a futex: a 32-bit-style user-space word identified by address.
+// The Load function reads the current user-space value; it is supplied by
+// the lock implementation so the futex layer never duplicates state.
+type Word struct {
+	table *Table
+	// Load returns the current value of the user-space word.
+	Load    func() uint64
+	bucket  *bucket
+	waiters []*waiter
+}
+
+type waiter struct {
+	t        *sched.Thread
+	w        *Word
+	timedOut bool
+	timer    *sim.Event
+	index    int
+}
+
+type bucket struct {
+	freeAt sim.Cycles // kernel-lock FIFO horizon
+}
+
+// Table is the kernel-wide futex hash table.
+type Table struct {
+	k     *sim.Kernel
+	s     *sched.Scheduler
+	cfg   Config
+	bkts  []bucket
+	next  int
+	stats Stats
+}
+
+// NewTable creates a futex table bound to a scheduler.
+func NewTable(k *sim.Kernel, s *sched.Scheduler, cfg Config) *Table {
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = 1
+	}
+	return &Table{k: k, s: s, cfg: cfg, bkts: make([]bucket, cfg.Buckets)}
+}
+
+// Stats returns a copy of the activity counters.
+func (tb *Table) Stats() Stats { return tb.stats }
+
+// ResetStats zeroes the counters.
+func (tb *Table) ResetStats() { tb.stats = Stats{} }
+
+// NewWord allocates a futex word, assigning it a hash bucket. Load reads
+// the user-space value the kernel re-checks under the bucket lock.
+func (tb *Table) NewWord(load func() uint64) *Word {
+	w := &Word{table: tb, Load: load, bucket: &tb.bkts[tb.next%len(tb.bkts)]}
+	tb.next++
+	return w
+}
+
+// Waiters returns the current wait-queue length.
+func (w *Word) Waiters() int { return len(w.waiters) }
+
+// acquireBucket charges the kernel-spinlock wait (if the bucket is held)
+// plus the hold time, advancing the thread's clock. The thread spins at
+// kernel level while waiting (global spinning power).
+func (tb *Table) acquireBucket(t *sched.Thread, b *bucket) {
+	now := t.Proc().Now()
+	wait := sim.Cycles(0)
+	if b.freeAt > now {
+		wait = b.freeAt - now
+	}
+	tb.stats.BucketWait += wait
+	b.freeAt = now + wait + tb.cfg.BucketHold
+	if wait > 0 {
+		prev := t.Activity()
+		t.SetActivity(power.SpinGlobal)
+		t.Run(wait)
+		t.SetActivity(prev)
+	}
+	t.Run(tb.cfg.BucketHold)
+}
+
+// Wait implements FUTEX_WAIT: if the word still equals val, the calling
+// thread sleeps until woken or until timeout (0 = none) expires. The call
+// itself costs ≈2100 cycles before descheduling.
+func (tb *Table) Wait(t *sched.Thread, w *Word, val uint64, timeout sim.Cycles) WaitResult {
+	tb.stats.Waits++
+	t.Run(tb.cfg.SyscallEntry)
+	tb.acquireBucket(t, w.bucket)
+	if w.Load() != val {
+		// Value changed while entering the kernel: EAGAIN.
+		tb.stats.WaitMisses++
+		t.Run(tb.cfg.SyscallEntry) // kernel→user return
+		return ValMismatch
+	}
+	wt := &waiter{t: t, w: w, index: len(w.waiters)}
+	w.waiters = append(w.waiters, wt)
+	if timeout > 0 {
+		var fire func()
+		fire = func() {
+			if wt.index < 0 {
+				return // a wake won the race
+			}
+			if t.State() != sched.Blocked {
+				// The waiter is still on its way into Block (descheduling
+				// path); retry shortly rather than waking a running thread.
+				wt.timer = tb.k.Schedule(100, fire)
+				return
+			}
+			wt.timedOut = true
+			w.remove(wt)
+			tb.stats.Timeouts++
+			tb.s.Unblock(t, 0)
+		}
+		wt.timer = tb.k.Schedule(timeout, fire)
+	}
+	t.Run(tb.cfg.Deschedule)
+	t.Block()
+	// Back on CPU: charge the kernel→user return path.
+	t.Run(tb.cfg.SyscallEntry)
+	if wt.timedOut {
+		return TimedOut
+	}
+	return Woken
+}
+
+// remove unlinks a waiter from the queue (swap-free, order-preserving).
+func (w *Word) remove(wt *waiter) {
+	if wt.index < 0 {
+		return
+	}
+	copy(w.waiters[wt.index:], w.waiters[wt.index+1:])
+	w.waiters = w.waiters[:len(w.waiters)-1]
+	for i := wt.index; i < len(w.waiters); i++ {
+		w.waiters[i].index = i
+	}
+	wt.index = -1
+}
+
+// Wake implements FUTEX_WAKE: it makes up to n waiters runnable and
+// returns how many were woken. The call costs ≈2700 cycles on the waker;
+// each woken thread additionally pays its idle-exit and scheduling
+// latency before running (charged by sched).
+func (tb *Table) Wake(t *sched.Thread, w *Word, n int) int {
+	tb.stats.Wakes++
+	t.Run(tb.cfg.SyscallEntry)
+	tb.acquireBucket(t, w.bucket)
+	woken := 0
+	for woken < n && len(w.waiters) > 0 {
+		wt := w.waiters[0]
+		w.remove(wt)
+		if wt.timer != nil {
+			tb.k.Cancel(wt.timer)
+			wt.timer = nil
+		}
+		tb.s.Unblock(wt.t, tb.cfg.WakeFixup)
+		woken++
+		tb.stats.WokenThreads++
+	}
+	t.Run(tb.cfg.WakeFixup)
+	t.Run(tb.cfg.SyscallEntry)
+	return woken
+}
+
+// KernelWakeAll is a helper for non-thread contexts (e.g. experiment
+// teardown from kernel events): it wakes every waiter with no cost model.
+func (tb *Table) KernelWakeAll(w *Word) int {
+	n := 0
+	for len(w.waiters) > 0 {
+		wt := w.waiters[0]
+		w.remove(wt)
+		if wt.timer != nil {
+			tb.k.Cancel(wt.timer)
+			wt.timer = nil
+		}
+		tb.s.Unblock(wt.t, 0)
+		n++
+	}
+	return n
+}

@@ -1,0 +1,232 @@
+// Package golocks provides native Go implementations of the paper's lock
+// algorithms, runnable on the host machine with real atomics.
+//
+// These are the practical counterparts of the simulated algorithms in
+// internal/core: the simulator reproduces the paper's energy results
+// (Go has no RAPL access), while this package lets the repository's
+// benchmarks exercise real hardware contention with testing.B. The Go
+// runtime hides thread parking (goroutines park on the scheduler, not on
+// futexes directly), so the "sleeping" locks here park goroutines via
+// channels/sync primitives — the closest portable equivalent.
+package golocks
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Locker is the native lock interface (sync.Locker compatible).
+type Locker interface {
+	Lock()
+	Unlock()
+	Name() string
+}
+
+// TAS is a test-and-set spinlock: global spinning with atomic swaps.
+type TAS struct {
+	v atomic.Uint32
+}
+
+// Name implements Locker.
+func (l *TAS) Name() string { return "TAS" }
+
+// Lock implements Locker.
+func (l *TAS) Lock() {
+	for l.v.Swap(1) != 0 {
+		runtime.Gosched()
+	}
+}
+
+// Unlock implements Locker.
+func (l *TAS) Unlock() { l.v.Store(0) }
+
+// TTAS is a test-and-test-and-set spinlock: it polls with loads and only
+// attempts the atomic when the lock looks free.
+type TTAS struct {
+	v atomic.Uint32
+}
+
+// Name implements Locker.
+func (l *TTAS) Name() string { return "TTAS" }
+
+// Lock implements Locker.
+func (l *TTAS) Lock() {
+	for {
+		if l.v.Load() == 0 && l.v.CompareAndSwap(0, 1) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// Unlock implements Locker.
+func (l *TTAS) Unlock() { l.v.Store(0) }
+
+// Ticket is a FIFO ticket lock: fetch-and-add draws a ticket; waiters
+// poll the now-serving counter.
+type Ticket struct {
+	next atomic.Uint64
+	cur  atomic.Uint64
+}
+
+// Name implements Locker.
+func (l *Ticket) Name() string { return "TICKET" }
+
+// Lock implements Locker.
+func (l *Ticket) Lock() {
+	t := l.next.Add(1) - 1
+	for l.cur.Load() != t {
+		runtime.Gosched()
+	}
+}
+
+// Unlock implements Locker.
+func (l *Ticket) Unlock() { l.cur.Add(1) }
+
+// mcsNode is a per-waiter queue node.
+type mcsNode struct {
+	next    atomic.Pointer[mcsNode]
+	blocked atomic.Bool
+}
+
+var mcsPool = sync.Pool{New: func() any { return new(mcsNode) }}
+
+// MCS is the Mellor-Crummey–Scott queue lock: each waiter spins on its
+// own node, so a release touches exactly one waiter's cache line.
+type MCS struct {
+	tail atomic.Pointer[mcsNode]
+	cur  atomic.Pointer[mcsNode] // the holder's node (written under the lock)
+}
+
+// Name implements Locker.
+func (l *MCS) Name() string { return "MCS" }
+
+// Lock implements Locker.
+func (l *MCS) Lock() {
+	n := mcsPool.Get().(*mcsNode)
+	n.next.Store(nil)
+	n.blocked.Store(true)
+	pred := l.tail.Swap(n)
+	if pred != nil {
+		pred.next.Store(n)
+		for n.blocked.Load() {
+			runtime.Gosched()
+		}
+	}
+	l.cur.Store(n)
+}
+
+// Unlock implements Locker.
+func (l *MCS) Unlock() {
+	n := l.cur.Load()
+	if n.next.Load() == nil {
+		if l.tail.CompareAndSwap(n, nil) {
+			mcsPool.Put(n)
+			return
+		}
+		for n.next.Load() == nil {
+			runtime.Gosched()
+		}
+	}
+	n.next.Load().blocked.Store(false)
+	mcsPool.Put(n)
+}
+
+// Mutex is the sleeping lock: Go's sync.Mutex, which implements a
+// spin-then-park policy on top of the runtime's semaphore (the portable
+// analogue of glibc's futex-based mutex).
+type Mutex struct {
+	mu sync.Mutex
+}
+
+// Name implements Locker.
+func (l *Mutex) Name() string { return "MUTEX" }
+
+// Lock implements Locker.
+func (l *Mutex) Lock() { l.mu.Lock() }
+
+// Unlock implements Locker.
+func (l *Mutex) Unlock() { l.mu.Unlock() }
+
+// Mutexee is a native approximation of the paper's MUTEXEE: a generous
+// spin phase with cheap pauses before parking, and an unlock that skips
+// the wakeup when a spinner takes over in user space. Parking uses a
+// buffered-channel semaphore.
+type Mutexee struct {
+	v        atomic.Uint64 // bit 0: locked; bits 32+: sleeper count
+	sem      chan struct{}
+	SpinIter int // spin iterations before sleeping (≈ the 8000-cycle budget)
+}
+
+// NewMutexee returns a native MUTEXEE with default tuning.
+func NewMutexee() *Mutexee {
+	return &Mutexee{sem: make(chan struct{}, 1<<16), SpinIter: 400}
+}
+
+// Name implements Locker.
+func (l *Mutexee) Name() string { return "MUTEXEE" }
+
+func (l *Mutexee) tryLock() bool {
+	for {
+		v := l.v.Load()
+		if v&1 != 0 {
+			return false
+		}
+		if l.v.CompareAndSwap(v, v|1) {
+			return true
+		}
+	}
+}
+
+// Lock implements Locker.
+func (l *Mutexee) Lock() {
+	if l.tryLock() {
+		return
+	}
+	spin := l.SpinIter
+	if spin <= 0 {
+		spin = 400
+	}
+	for {
+		for i := 0; i < spin; i++ {
+			if l.v.Load()&1 == 0 && l.tryLock() {
+				return
+			}
+			if i%16 == 15 {
+				runtime.Gosched()
+			}
+		}
+		// Announce and sleep.
+		l.v.Add(1 << 32)
+		if l.v.Load()&1 == 0 {
+			l.v.Add(^uint64(1<<32) + 1)
+			continue
+		}
+		<-l.sem
+		l.v.Add(^uint64(1<<32) + 1)
+	}
+}
+
+// Unlock implements Locker.
+func (l *Mutexee) Unlock() {
+	for {
+		v := l.v.Load()
+		if l.v.CompareAndSwap(v, v&^1) {
+			if v>>32 == 0 {
+				return
+			}
+			break
+		}
+	}
+	// Brief user-space handover window before waking a sleeper.
+	for i := 0; i < 32; i++ {
+		if l.v.Load()&1 != 0 {
+			return // a spinner took over; no wake needed
+		}
+	}
+	select {
+	case l.sem <- struct{}{}:
+	default:
+	}
+}

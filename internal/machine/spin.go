@@ -1,0 +1,263 @@
+package machine
+
+import (
+	"fmt"
+
+	"lockin/internal/coherence"
+	"lockin/internal/power"
+	"lockin/internal/sim"
+)
+
+// WaitPolicy selects how a thread busy-waits on a cache line. Policies
+// correspond to the techniques evaluated in §4 of the paper.
+type WaitPolicy int
+
+const (
+	// WaitLocal is a plain load spin loop (no pausing, CPI ≈0.33).
+	WaitLocal WaitPolicy = iota
+	// WaitPause paces the loop with the x86 pause instruction. It
+	// *increases* power on Ivy Bridge (paper Figure 4).
+	WaitPause
+	// WaitMbar paces the loop with a memory barrier — the paper's
+	// recommended technique, cheaper than both pause and plain spinning.
+	WaitMbar
+	// WaitGlobal polls with atomic operations (test-and-set style).
+	WaitGlobal
+	// WaitMwait blocks the hardware context via monitor/mwait (through
+	// the paper's virtual-device workaround, costing kernel crossings).
+	WaitMwait
+	// WaitDVFS spins with mbar at the minimum voltage-frequency point,
+	// paying a VF switch on each side of the wait.
+	WaitDVFS
+	// WaitMwaitUser is the §8 future-hardware variant of WaitMwait:
+	// user-level monitor/mwait (as on SPARC M7), with no kernel crossing
+	// and a fast exit.
+	WaitMwaitUser
+)
+
+func (p WaitPolicy) String() string {
+	switch p {
+	case WaitLocal:
+		return "local"
+	case WaitPause:
+		return "local-pause"
+	case WaitMbar:
+		return "local-mbar"
+	case WaitGlobal:
+		return "global"
+	case WaitMwait:
+		return "monitor-mwait"
+	case WaitDVFS:
+		return "dvfs"
+	case WaitMwaitUser:
+		return "mwait-user"
+	}
+	return fmt.Sprintf("WaitPolicy(%d)", int(p))
+}
+
+// Activity maps the policy to its power class.
+func (p WaitPolicy) Activity() power.Activity {
+	switch p {
+	case WaitLocal:
+		return power.SpinLocal
+	case WaitPause:
+		return power.SpinPause
+	case WaitMbar:
+		return power.SpinMbar
+	case WaitGlobal:
+		return power.SpinGlobal
+	case WaitMwait, WaitMwaitUser:
+		return power.Mwait
+	case WaitDVFS:
+		return power.SpinMbar
+	}
+	return power.SpinLocal
+}
+
+func (p WaitPolicy) watchKind() coherence.WatchKind {
+	if p == WaitGlobal {
+		return coherence.WatchGlobal
+	}
+	return coherence.WatchLocal
+}
+
+// User-level monitor/mwait costs (§8: a SPARC M7-style implementation
+// with no kernel crossing and a fast exit).
+const (
+	mwaitUserEnter = sim.Cycles(20)
+	mwaitUserWake  = sim.Cycles(150)
+)
+
+// spinWake reasons delivered through Proc.Wake tokens.
+const (
+	wakePred  = 1
+	wakeSlice = 2
+	wakeLimit = 3
+)
+
+// SpinUntil busy-waits on l until pred holds, using the given policy.
+// It returns the observed value. The wait is preemptible: under
+// oversubscription the spinner burns its timeslice and round-trips
+// through the run queue, which is exactly how spinlocks melt down when
+// threads outnumber contexts.
+func (t *Thread) SpinUntil(l *coherence.Line, pred func(uint64) bool, pol WaitPolicy) uint64 {
+	v, _ := t.SpinUntilLimit(l, pred, pol, 0)
+	return v
+}
+
+// SpinUntilLimit is SpinUntil with a budget: it gives up once the thread
+// has spent limit cycles spinning (0 = unlimited) and reports whether the
+// predicate was observed. Preemptions pause the budget clock: limit is
+// CPU time spent spinning, matching how spin-then-sleep thresholds are
+// implemented in user space.
+func (t *Thread) SpinUntilLimit(l *coherence.Line, pred func(uint64) bool, pol WaitPolicy, limit sim.Cycles) (uint64, bool) {
+	spent := sim.Cycles(0)
+	act := pol.Activity()
+	if pol == WaitMwait {
+		// Arm the monitor through the kernel device.
+		t.Compute(t.m.cfg.MwaitEnter)
+	}
+	if pol == WaitMwaitUser {
+		t.Compute(mwaitUserEnter)
+	}
+	if pol == WaitDVFS {
+		t.Compute(t.m.cfg.DVFSSwitch)
+		t.SetVF(power.VFMin)
+	}
+	defer func() {
+		if pol == WaitDVFS {
+			t.SetVF(power.VFMax)
+			t.Compute(t.m.cfg.DVFSSwitch)
+		}
+		if pol == WaitMwait {
+			// Exit latency out of the optimized state.
+			t.Compute(t.m.cfg.MwaitWake)
+		}
+		if pol == WaitMwaitUser {
+			t.Compute(mwaitUserWake)
+		}
+	}()
+	for {
+		if limit > 0 && spent >= limit {
+			return l.Val(), false
+		}
+		t.SetActivity(act)
+		type wakeState struct {
+			settled bool
+			val     uint64
+		}
+		st := &wakeState{}
+		w := &coherence.Watcher{
+			Ctx:  t.Ctx(),
+			Kind: pol.watchKind(),
+			Pred: pred,
+			Fire: func(v uint64) {
+				if st.settled {
+					return
+				}
+				st.settled = true
+				st.val = v
+				t.Proc().Wake(wakePred)
+			},
+		}
+		start := t.Proc().Now()
+		// Arm the shorter of the slice-expiry and budget timers.
+		var timer *sim.Event
+		reason := uint64(0)
+		armed := sim.Cycles(0)
+		if t.m.Sched.Oversubscribed() {
+			armed = t.SliceLeft()
+			reason = wakeSlice
+		}
+		if limit > 0 {
+			rem := limit - spent
+			if armed == 0 || rem < armed {
+				armed = rem
+				reason = wakeLimit
+			}
+		}
+		if armed > 0 {
+			r := reason
+			timer = t.m.K.Schedule(armed, func() {
+				if st.settled {
+					return
+				}
+				st.settled = true
+				l.Unwatch(w)
+				t.Proc().Wake(r)
+			})
+		}
+		l.Watch(w)
+		pollersAtWatch := l.Pollers()
+		got := t.Proc().Park()
+		waited := t.Proc().Now() - start
+		spent += waited
+		t.ChargeSlice(waited)
+		// The poller population varies over the epoch; its peak (seen at
+		// registration or at wake) prices the contention for CPI.
+		peak := pollersAtWatch
+		if p := l.Pollers() + 1; p > peak {
+			peak = p
+		}
+		t.m.noteSpin(act, waited, peak)
+		if timer != nil {
+			t.m.K.Cancel(timer)
+		}
+		switch got {
+		case wakePred:
+			return st.val, true
+		case wakeLimit:
+			return l.Val(), false
+		case wakeSlice:
+			if t.m.Sched.Oversubscribed() {
+				t.Preempt()
+			}
+			// Re-watch with a fresh slice.
+		default:
+			panic(fmt.Sprintf("machine: unexpected spin wake token %d", got))
+		}
+	}
+}
+
+// noteSpin records wait cycles for CPI reporting, refining global-spin
+// CPI by the observed poller population.
+func (m *Machine) noteSpin(a power.Activity, cycles sim.Cycles, pollers int) {
+	if a != power.SpinGlobal {
+		pollers = 0
+	}
+	cpi := activityCPI(a, pollers)
+	m.instr.cycles[a] += float64(cycles)
+	m.instr.instrs[a] += float64(cycles) / cpi
+}
+
+// SpinFor busy-waits unconditionally for d cycles under the given policy
+// (used by pure waiting-cost experiments where nothing ever changes).
+func (t *Thread) SpinFor(d sim.Cycles, pol WaitPolicy) {
+	if d == 0 {
+		return
+	}
+	act := pol.Activity()
+	if pol == WaitMwait {
+		t.Compute(t.m.cfg.MwaitEnter)
+	}
+	if pol == WaitMwaitUser {
+		t.Compute(mwaitUserEnter)
+	}
+	if pol == WaitDVFS {
+		t.Compute(t.m.cfg.DVFSSwitch)
+		t.SetVF(power.VFMin)
+	}
+	t.SetActivity(act)
+	t.Run(d)
+	t.m.note(act, d)
+	if pol == WaitDVFS {
+		t.SetVF(power.VFMax)
+		t.Compute(t.m.cfg.DVFSSwitch)
+	}
+	if pol == WaitMwait {
+		t.Compute(t.m.cfg.MwaitWake)
+	}
+	if pol == WaitMwaitUser {
+		t.Compute(mwaitUserWake)
+	}
+}

@@ -1,0 +1,146 @@
+// Package metrics provides the measurement toolkit of the benchmark
+// harness: log-bucketed latency histograms with high-percentile queries,
+// throughput-per-power (TPP) energy-efficiency accounting, correlation
+// statistics for the POLY analysis, and plain-text table rendering that
+// mirrors the paper's figures and tables.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"lockin/internal/sim"
+)
+
+// Histogram is a log2-bucketed latency histogram with 16 sub-buckets per
+// octave, good to ≈6% relative error across the full uint64 range —
+// plenty for p95…p99.99 queries over cycle-denominated latencies.
+type Histogram struct {
+	count   uint64
+	sum     float64
+	min     uint64
+	max     uint64
+	buckets [64 * subBuckets]uint64
+}
+
+const subBuckets = 16
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: math.MaxUint64}
+}
+
+func bucketOf(v uint64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // top bit position
+	// Use the next 4 bits below the top bit as the sub-bucket.
+	sub := int((v >> (uint(exp) - 4)) & (subBuckets - 1))
+	return (exp-3)*subBuckets + sub
+}
+
+// bucketLow returns the smallest value mapping to bucket i (inverse of
+// bucketOf up to quantization).
+func bucketLow(i int) uint64 {
+	if i < subBuckets {
+		return uint64(i)
+	}
+	exp := i/subBuckets + 3
+	sub := i % subBuckets
+	return 1<<uint(exp) | uint64(sub)<<(uint(exp)-4)
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v sim.Cycles) {
+	u := uint64(v)
+	h.count++
+	h.sum += float64(u)
+	if u < h.min {
+		h.min = u
+	}
+	if u > h.max {
+		h.max = u
+	}
+	h.buckets[bucketOf(u)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the average observation, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest observation, or 0 when empty.
+func (h *Histogram) Min() uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Percentile returns the value at quantile q in [0,1] (e.g. 0.9999).
+func (h *Histogram) Percentile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			v := bucketLow(i)
+			if v > h.max {
+				return h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge adds o's observations into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() {
+	*h = Histogram{min: math.MaxUint64}
+}
+
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.0f p95=%d p99=%d p99.99=%d max=%d",
+		h.count, h.Mean(), h.Percentile(0.95), h.Percentile(0.99), h.Percentile(0.9999), h.max)
+}

@@ -1,0 +1,148 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock measured in CPU cycles and an event
+// queue ordered by (time, insertion sequence). Simulated threads (Proc) run
+// as goroutines, but the kernel guarantees that at most one of them executes
+// at any instant: a Proc runs until it blocks on the kernel (sleeps, parks),
+// at which point control returns to the kernel loop. This yields fully
+// deterministic, race-free simulations whose only source of randomness is
+// the kernel's seeded RNG.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Cycles is a duration or instant expressed in reference CPU cycles
+// (cycles of the maximum-frequency clock of the simulated machine).
+type Cycles uint64
+
+// Event is a scheduled callback. Cancelled events stay in the heap but are
+// skipped when popped.
+type Event struct {
+	at        Cycles
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// At returns the virtual time at which the event fires.
+func (e *Event) At() Cycles { return e.at }
+
+// Cancelled reports whether the event has been cancelled.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the simulation core: virtual clock, event queue and RNG.
+// The zero value is not usable; construct with NewKernel.
+type Kernel struct {
+	now     Cycles
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	procs   []*Proc
+	stopped bool
+
+	// active is the Proc currently executing, if any. Only used for
+	// sanity checks in debug paths.
+	active *Proc
+}
+
+// NewKernel returns a kernel with its clock at zero and the RNG seeded
+// with seed (use a fixed seed for reproducible runs).
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Cycles { return k.now }
+
+// Rand returns the kernel's deterministic RNG. It must only be used from
+// simulation context (kernel loop or a running Proc).
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Schedule registers fn to run at now+d and returns a handle that can be
+// cancelled.
+func (k *Kernel) Schedule(d Cycles, fn func()) *Event {
+	e := &Event{at: k.now + d, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, e)
+	return e
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an event that
+// already fired or was already cancelled is a no-op.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.cancelled {
+		return
+	}
+	e.cancelled = true
+}
+
+// Pending returns the number of events in the queue, including cancelled
+// ones that have not been popped yet.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Stop makes Run return after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events in timestamp order until the queue drains, the clock
+// passes until (0 means no limit), or Stop is called. It returns the
+// virtual time at exit.
+func (k *Kernel) Run(until Cycles) Cycles {
+	k.stopped = false
+	for len(k.events) > 0 && !k.stopped {
+		e := k.events[0]
+		if until != 0 && e.at > until {
+			k.now = until
+			break
+		}
+		heap.Pop(&k.events)
+		if e.cancelled {
+			continue
+		}
+		if e.at < k.now {
+			panic(fmt.Sprintf("sim: event at %d scheduled in the past (now %d)", e.at, k.now))
+		}
+		k.now = e.at
+		e.fn()
+	}
+	if until != 0 && k.now < until && len(k.events) == 0 {
+		k.now = until
+	}
+	return k.now
+}
+
+// Drain runs until the event queue is empty (no time limit).
+func (k *Kernel) Drain() Cycles { return k.Run(0) }

@@ -1,0 +1,159 @@
+package sim
+
+import "fmt"
+
+// ProcState describes the lifecycle of a simulated thread.
+type ProcState int
+
+const (
+	// ProcNew means the goroutine has not started executing the body yet.
+	ProcNew ProcState = iota
+	// ProcRunning means the Proc is the currently executing simulation actor.
+	ProcRunning
+	// ProcParked means the Proc is blocked waiting for a Wake.
+	ProcParked
+	// ProcDone means the body returned.
+	ProcDone
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case ProcNew:
+		return "new"
+	case ProcRunning:
+		return "running"
+	case ProcParked:
+		return "parked"
+	case ProcDone:
+		return "done"
+	}
+	return fmt.Sprintf("ProcState(%d)", int(s))
+}
+
+// Proc is a simulated thread: a goroutine whose execution is interleaved
+// with virtual time by the kernel. Exactly one Proc (or the kernel loop)
+// runs at a time; the handshake channels enforce the transfer of control.
+type Proc struct {
+	k      *Kernel
+	id     int
+	name   string
+	state  ProcState
+	resume chan struct{} // kernel -> proc
+	yield  chan struct{} // proc -> kernel
+	body   func(*Proc)
+
+	// WakeVal carries an optional token from the waker to the parked
+	// proc (e.g. futex wake reason). Zero when woken by a timer.
+	WakeVal uint64
+}
+
+// NewProc creates a simulated thread that will execute body when started.
+// The Proc does not run until Start (typically via a scheduled event).
+func (k *Kernel) NewProc(id int, name string, body func(*Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		id:     id,
+		name:   name,
+		state:  ProcNew,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+		body:   body,
+	}
+	k.procs = append(k.procs, p)
+	return p
+}
+
+// ID returns the numeric identifier given at creation.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the debug name given at creation.
+func (p *Proc) Name() string { return p.name }
+
+// State returns the current lifecycle state.
+func (p *Proc) State() ProcState { return p.state }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the kernel's current virtual time.
+func (p *Proc) Now() Cycles { return p.k.now }
+
+// Start launches the Proc's goroutine and runs it until its first park.
+// Must be called from kernel context (an event callback) or before Run.
+func (p *Proc) Start() {
+	if p.state != ProcNew {
+		panic("sim: Start on a non-new Proc")
+	}
+	go func() {
+		<-p.resume
+		p.body(p)
+		p.state = ProcDone
+		p.yield <- struct{}{}
+	}()
+	p.transfer()
+}
+
+// transfer hands control to the proc goroutine and waits for it to yield
+// back. Called from kernel context.
+func (p *Proc) transfer() {
+	prev := p.k.active
+	p.k.active = p
+	p.state = ProcRunning
+	p.resume <- struct{}{}
+	<-p.yield
+	p.k.active = prev
+}
+
+// park blocks the calling proc goroutine, returning control to the kernel.
+// Called from proc context only.
+func (p *Proc) park() {
+	p.state = ProcParked
+	p.yield <- struct{}{}
+	<-p.resume
+	p.state = ProcRunning
+}
+
+// Park blocks the proc until some other actor calls Wake. The returned
+// value is the WakeVal supplied by the waker.
+func (p *Proc) Park() uint64 {
+	p.WakeVal = 0
+	p.park()
+	return p.WakeVal
+}
+
+// Wake unparks p with the given token. Must be called from kernel context
+// or from another running proc; control transfers to p immediately and
+// returns here once p parks or finishes again.
+func (p *Proc) Wake(val uint64) {
+	if p.state != ProcParked {
+		panic(fmt.Sprintf("sim: Wake on proc %q in state %v", p.name, p.state))
+	}
+	p.WakeVal = val
+	p.transfer()
+}
+
+// WakeAt schedules p to be woken at now+d with the given token and returns
+// the timer event (cancellable).
+func (p *Proc) WakeAt(d Cycles, val uint64) *Event {
+	return p.k.Schedule(d, func() { p.Wake(val) })
+}
+
+// Sleep advances virtual time by d for this proc: it schedules its own
+// wake-up and parks. Other events run in the meantime.
+func (p *Proc) Sleep(d Cycles) {
+	if d == 0 {
+		return
+	}
+	p.WakeAt(d, 0)
+	p.park()
+}
+
+// Done reports whether the proc body has returned.
+func (p *Proc) Done() bool { return p.state == ProcDone }
+
+// Go is a convenience: create a proc and schedule its start at now+delay.
+func (k *Kernel) Go(id int, name string, delay Cycles, body func(*Proc)) *Proc {
+	p := k.NewProc(id, name, body)
+	k.Schedule(delay, func() { p.Start() })
+	return p
+}

@@ -1,0 +1,276 @@
+package systems
+
+import (
+	"lockin/internal/core"
+	"lockin/internal/machine"
+	"lockin/internal/sim"
+	"lockin/internal/workload"
+)
+
+// HamsterDB models the embedded key-value store: every operation takes
+// the environment's big lock (reads through a reader-writer wrapper), so
+// the lock is hot and critical sections are short — the configuration
+// where sleeping "kills" throughput (§6.1). Configurations vary the
+// read ratio: WT 10%, WT/RD 50%, RD 90% reads.
+func HamsterDB() []Definition {
+	mk := func(cfg string, readPct int) Definition {
+		return Definition{
+			System:  "HamsterDB",
+			Config:  cfg,
+			Threads: 4,
+			Build: func(r *Runner, f workload.LockFactory) {
+				rw := core.NewRWLock(r.M, f(r.M), machine.WaitMbar)
+				for i := 0; i < 4; i++ {
+					rng := r.RNG(i)
+					r.M.Spawn("ham", func(t *machine.Thread) {
+						for r.Running(t) {
+							start := t.Proc().Now()
+							if rng.Intn(100) < readPct {
+								rw.RLock(t)
+								t.Compute(2200)
+								rw.RUnlock(t)
+							} else {
+								rw.Lock(t)
+								t.Compute(2800)
+								rw.Unlock(t)
+							}
+							r.Note(t, start)
+							t.Compute(400)
+						}
+					})
+				}
+			},
+		}
+	}
+	return []Definition{mk("WT", 10), mk("WT/RD", 50), mk("RD", 90)}
+}
+
+// Kyoto models Kyoto Cabinet: a single global mutex serializes the whole
+// store; the three database flavours differ in critical-section length.
+func Kyoto() []Definition {
+	mk := func(cfg string, cs sim.Cycles) Definition {
+		return Definition{
+			System:  "Kyoto",
+			Config:  cfg,
+			Threads: 4,
+			Build: func(r *Runner, f workload.LockFactory) {
+				l := f(r.M)
+				for i := 0; i < 4; i++ {
+					r.M.Spawn("kyoto", func(t *machine.Thread) {
+						for r.Running(t) {
+							lockedOp(r, t, l, cs, 500)
+						}
+					})
+				}
+			},
+		}
+	}
+	return []Definition{mk("CACHE", 3200), mk("HT DB", 3600), mk("B-TREE", 4500)}
+}
+
+// Memcached models the in-memory cache under a Twitter-like workload:
+// SETs funnel through the hot cache/LRU lock, GETs mostly hit striped
+// hash-bucket locks. Configurations vary the get ratio: SET 10%,
+// SET/GET 50%, GET 90% gets.
+func Memcached() []Definition {
+	mk := func(cfg string, getPct int) Definition {
+		return Definition{
+			System:  "Memcached",
+			Config:  cfg,
+			Threads: 8,
+			Build: func(r *Runner, f workload.LockFactory) {
+				cache := f(r.M) // the hot cache_lock
+				buckets := make([]core.Lock, 16)
+				for i := range buckets {
+					buckets[i] = f(r.M)
+				}
+				for i := 0; i < 8; i++ {
+					rng := r.RNG(i)
+					r.M.Spawn("mc", func(t *machine.Thread) {
+						for r.Running(t) {
+							start := t.Proc().Now()
+							if rng.Intn(100) < getPct {
+								b := buckets[rng.Intn(len(buckets))]
+								b.Lock(t)
+								t.Compute(900)
+								b.Unlock(t)
+							} else {
+								// SET: bucket lock then the global cache lock.
+								b := buckets[rng.Intn(len(buckets))]
+								b.Lock(t)
+								t.Compute(700)
+								b.Unlock(t)
+								cache.Lock(t)
+								t.Compute(1400)
+								cache.Unlock(t)
+							}
+							r.Note(t, start)
+							t.Compute(1200) // request parsing, networking
+						}
+					})
+				}
+			},
+		}
+	}
+	return []Definition{mk("SET", 10), mk("SET/GET", 50), mk("GET", 90)}
+}
+
+// MySQL models the RDBMS under LinkBench: the server oversubscribes
+// threads to hardware contexts and wraps most low-level synchronization
+// in its own custom locks (modelled as computation), so the pthread lock
+// choice matters little — except that fair spinlocks collapse under
+// oversubscription. MEM is in-memory; SSD adds long I/O (blocking) spans.
+func MySQL() []Definition {
+	mk := func(cfg string, threads int, outside sim.Cycles, ioEvery int, io sim.Cycles) Definition {
+		return Definition{
+			System:  "MySQL",
+			Config:  cfg,
+			Threads: threads,
+			Build: func(r *Runner, f workload.LockFactory) {
+				// A handful of pthread-level locks (metadata, binlog, buffer
+				// pool instances); most work happens outside them.
+				locks := make([]core.Lock, 8)
+				for i := range locks {
+					locks[i] = f(r.M)
+				}
+				for i := 0; i < threads; i++ {
+					rng := r.RNG(i)
+					r.M.Spawn("mysql", func(t *machine.Thread) {
+						n := 0
+						for r.Running(t) {
+							start := t.Proc().Now()
+							// Transaction: custom-lock work plus a few short
+							// pthread critical sections.
+							t.Compute(outside)
+							for j := 0; j < 3; j++ {
+								l := locks[rng.Intn(len(locks))]
+								l.Lock(t)
+								t.Compute(1500)
+								l.Unlock(t)
+								t.Compute(2000)
+							}
+							n++
+							if ioEvery > 0 && n%ioEvery == 0 {
+								// SSD read: the thread blocks, freeing its context.
+								t.Compute(200)
+								blockFor(t, io)
+							}
+							r.Note(t, start)
+						}
+					})
+				}
+			},
+		}
+	}
+	return []Definition{
+		mk("MEM", 64, 20_000, 0, 0),
+		mk("SSD", 64, 14_000, 2, 280_000), // ≈100 µs I/O at 2.8 GHz
+	}
+}
+
+// blockFor deschedules the thread for roughly d cycles, modelling
+// blocking I/O: the hardware context is released to the OS.
+func blockFor(t *machine.Thread, d sim.Cycles) {
+	th := t.Thread
+	s := th.Scheduler()
+	k := s.Kernel()
+	k.Schedule(d, func() { s.Unblock(th, 0) })
+	th.Block()
+}
+
+// RocksDB models the persistent store's in-memory benchmark: writers
+// funnel through a leader-based write queue (mutex + condition variable),
+// readers are mostly lock-free with occasional short critical sections.
+// Because the queue discipline — not the lock — dominates, changing the
+// lock barely moves throughput (§6.1).
+func RocksDB() []Definition {
+	mk := func(cfg string, readPct int) Definition {
+		return Definition{
+			System:  "RocksDB",
+			Config:  cfg,
+			Threads: 12,
+			Build: func(r *Runner, f workload.LockFactory) {
+				qlock := f(r.M)
+				cond := core.NewCond(r.M)
+				versionLock := f(r.M)
+				queueLen := 0
+				for i := 0; i < 12; i++ {
+					rng := r.RNG(i)
+					r.M.Spawn("rocks", func(t *machine.Thread) {
+						for r.Running(t) {
+							start := t.Proc().Now()
+							if rng.Intn(100) < readPct {
+								// Read: version ref under a short lock, then
+								// lock-free memtable/SST search.
+								versionLock.Lock(t)
+								t.Compute(300)
+								versionLock.Unlock(t)
+								t.Compute(6000)
+							} else {
+								// Write: join the write queue.
+								qlock.Lock(t)
+								queueLen++
+								if queueLen == 1 {
+									// Leader: write the batch for the group.
+									t.Compute(12_000)
+									queueLen = 0
+									qlock.Unlock(t)
+									cond.Broadcast(t)
+								} else {
+									// Follower: wait for the leader.
+									cond.Wait(t, qlock)
+									qlock.Unlock(t)
+								}
+							}
+							r.Note(t, start)
+							t.Compute(1500)
+						}
+					})
+				}
+			},
+		}
+	}
+	return []Definition{mk("WT", 10), mk("WT/RD", 50), mk("RD", 90)}
+}
+
+// SQLite models the relational engine under TPC-C: each connection is a
+// thread; transactions take several short critical sections on a small
+// set of hot locks. With 64 connections the server heavily
+// oversubscribes the machine — where MUTEX melts down on futex-bucket
+// contention and fair spinlocks livelock (§6.1).
+func SQLite() []Definition {
+	mk := func(cfg string, conns int) Definition {
+		return Definition{
+			System:  "SQLite",
+			Config:  cfg,
+			Threads: conns,
+			Build: func(r *Runner, f workload.LockFactory) {
+				dbLock := f(r.M)  // the serialization point
+				walLock := f(r.M) // write-ahead-log lock
+				for i := 0; i < conns; i++ {
+					rng := r.RNG(i)
+					r.M.Spawn("sqlite", func(t *machine.Thread) {
+						for r.Running(t) {
+							start := t.Proc().Now()
+							// One TPC-C-ish transaction: parse/plan, then a
+							// few locked table/WAL accesses.
+							t.Compute(8000)
+							for j := 0; j < 4; j++ {
+								l := dbLock
+								if rng.Intn(2) == 0 {
+									l = walLock
+								}
+								l.Lock(t)
+								t.Compute(2500)
+								l.Unlock(t)
+								t.Compute(1000)
+							}
+							r.Note(t, start)
+						}
+					})
+				}
+			},
+		}
+	}
+	return []Definition{mk("16 CON", 16), mk("32 CON", 32), mk("64 CON", 64)}
+}

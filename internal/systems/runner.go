@@ -1,0 +1,142 @@
+// Package systems models the six software systems of the paper's §6
+// evaluation — HamsterDB, Kyoto Cabinet, Memcached, MySQL, RocksDB and
+// SQLite — as synthetic lock-usage profiles, plus the Figure 1
+// CopyOnWriteArrayList stress test and the Figure 2 memory-stress
+// benchmark.
+//
+// The paper attributes every §6 effect to how each system uses pthread
+// locks: HamsterDB and Kyoto serialize on one hot lock (sleeping "kills"
+// throughput); Memcached mixes a hot cache lock with striped bucket
+// locks; MySQL and SQLite oversubscribe threads to cores (spinning
+// "kills" throughput and fair spinlocks collapse); RocksDB funnels
+// writers through a condvar-based write queue, so the mutex choice
+// barely matters. The profiles encode exactly those patterns; swapping
+// the lock algorithm under them reproduces Figures 13-15.
+package systems
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lockin/internal/core"
+	"lockin/internal/machine"
+	"lockin/internal/metrics"
+	"lockin/internal/power"
+	"lockin/internal/sim"
+	"lockin/internal/workload"
+)
+
+// Runner hosts one system execution: machine, measurement window and
+// operation accounting shared by all profile bodies.
+type Runner struct {
+	M        *machine.Machine
+	measFrom sim.Cycles
+	measTo   sim.Cycles
+	ops      uint64
+	lat      *metrics.Histogram
+	rngSeed  int64
+}
+
+// NewRunner builds a runner on a fresh machine with the given window.
+func NewRunner(mc machine.Config, warmup, duration sim.Cycles) *Runner {
+	return &Runner{
+		M:        machine.New(mc),
+		measFrom: warmup,
+		measTo:   warmup + duration,
+		lat:      metrics.NewHistogram(),
+		rngSeed:  mc.Seed,
+	}
+}
+
+// Running reports whether the thread should start another operation.
+func (r *Runner) Running(t *machine.Thread) bool { return t.Proc().Now() < r.measTo }
+
+// Note records one completed operation that started at the given time.
+func (r *Runner) Note(t *machine.Thread, start sim.Cycles) {
+	end := t.Proc().Now()
+	if end >= r.measFrom && end < r.measTo {
+		r.ops++
+		r.lat.Record(end - start)
+	}
+}
+
+// RNG returns a per-thread deterministic RNG.
+func (r *Runner) RNG(id int) *rand.Rand {
+	return rand.New(rand.NewSource(r.rngSeed + int64(id)*104729))
+}
+
+// Result is a finished system run.
+type Result struct {
+	metrics.Measurement
+	Latency *metrics.Histogram
+}
+
+// Finish drains the simulation and returns the measurement.
+func (r *Runner) Finish() Result {
+	var e0, e1 power.Energy
+	r.M.K.Schedule(r.measFrom, func() { e0 = r.M.Meter.Energy() })
+	r.M.K.Schedule(r.measTo, func() { e1 = r.M.Meter.Energy() })
+	r.M.K.Drain()
+	return Result{
+		Measurement: metrics.Measurement{
+			Ops:     r.ops,
+			Window:  r.measTo - r.measFrom,
+			Energy:  e1.Sub(e0),
+			BaseGHz: r.M.Config().Power.BaseFreqGHz,
+		},
+		Latency: r.lat,
+	}
+}
+
+// Definition describes one (system, configuration) cell of Table 3.
+type Definition struct {
+	System  string
+	Config  string
+	Threads int
+	// Build spawns the profile's threads against the runner using locks
+	// from the factory.
+	Build func(r *Runner, f workload.LockFactory)
+}
+
+// ID returns "System/Config", the key used by the experiment harness.
+func (d Definition) ID() string { return fmt.Sprintf("%s/%s", d.System, d.Config) }
+
+// Run executes the definition with the given lock factory and window.
+func (d Definition) Run(mc machine.Config, f workload.LockFactory, warmup, duration sim.Cycles) Result {
+	r := NewRunner(mc, warmup, duration)
+	d.Build(r, f)
+	return r.Finish()
+}
+
+// All returns the 17 (system, configuration) cells of Figures 13-14, in
+// the paper's order.
+func All() []Definition {
+	var out []Definition
+	out = append(out, HamsterDB()...)
+	out = append(out, Kyoto()...)
+	out = append(out, Memcached()...)
+	out = append(out, MySQL()...)
+	out = append(out, RocksDB()...)
+	out = append(out, SQLite()...)
+	return out
+}
+
+// Find returns the definition with the given ID.
+func Find(id string) (Definition, error) {
+	for _, d := range All() {
+		if d.ID() == id {
+			return d, nil
+		}
+	}
+	return Definition{}, fmt.Errorf("systems: unknown definition %q", id)
+}
+
+// lockedOp is the common "acquire, work, release, note" request body.
+func lockedOp(r *Runner, t *machine.Thread, l core.Lock, cs, outside sim.Cycles) {
+	start := t.Proc().Now()
+	l.Lock(t)
+	t.Compute(cs)
+	l.Unlock(t)
+	r.Note(t, start)
+	t.Compute(outside)
+}

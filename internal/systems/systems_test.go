@@ -1,0 +1,176 @@
+package systems
+
+import (
+	"testing"
+
+	"lockin/internal/core"
+	"lockin/internal/machine"
+	"lockin/internal/power"
+	"lockin/internal/workload"
+)
+
+const (
+	testWarmup = 300_000
+	testDur    = 8_000_000
+)
+
+func runDef(t *testing.T, d Definition, k core.Kind, seed int64) Result {
+	t.Helper()
+	return d.Run(machine.DefaultConfig(seed), workload.FactoryFor(k), testWarmup, testDur)
+}
+
+func TestAllDefinitionsProduceWork(t *testing.T) {
+	for _, d := range All() {
+		d := d
+		t.Run(d.ID(), func(t *testing.T) {
+			if testing.Short() && d.Threads > 16 {
+				t.Skip("short mode")
+			}
+			r := runDef(t, d, core.KindMutex, 1)
+			if r.Ops == 0 {
+				t.Fatal("no operations")
+			}
+			if r.Latency.Count() == 0 {
+				t.Fatal("no latencies recorded")
+			}
+			if r.Power().Total < 50 {
+				t.Fatalf("implausible power %.1f W", r.Power().Total)
+			}
+		})
+	}
+}
+
+func TestSeventeenConfigs(t *testing.T) {
+	if n := len(All()); n != 17 {
+		t.Fatalf("Table 3 has 17 cells, got %d", n)
+	}
+	seen := map[string]bool{}
+	for _, d := range All() {
+		if seen[d.ID()] {
+			t.Fatalf("duplicate definition %s", d.ID())
+		}
+		seen[d.ID()] = true
+	}
+}
+
+func TestFindDefinition(t *testing.T) {
+	d, err := Find("SQLite/64 CON")
+	if err != nil || d.Threads != 64 {
+		t.Fatalf("Find failed: %v %+v", err, d)
+	}
+	if _, err := Find("nope/nope"); err == nil {
+		t.Fatal("Find accepted garbage")
+	}
+}
+
+func TestHamsterDBSpinBeatsSleep(t *testing.T) {
+	// §6.1: on HamsterDB, avoiding sleeping improves throughput
+	// substantially (TICKET 1.26-1.85x over MUTEX).
+	d := HamsterDB()[0] // WT
+	mutex := runDef(t, d, core.KindMutex, 1)
+	ticket := runDef(t, d, core.KindTicket, 1)
+	ratio := ticket.Throughput() / mutex.Throughput()
+	if ratio < 1.05 {
+		t.Fatalf("TICKET/MUTEX throughput ratio %.2f, want >1 (paper: 1.38)", ratio)
+	}
+}
+
+func TestMySQLTicketCollapsesUnderOversubscription(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	d := MySQL()[0] // MEM: 64 threads on 40 contexts
+	mc := machine.DefaultConfig(1)
+	f := func(k core.Kind) Result {
+		return d.Run(mc, workload.FactoryFor(k), testWarmup, 60_000_000)
+	}
+	mutex := f(core.KindMutex)
+	ticket := f(core.KindTicket)
+	ratio := ticket.Throughput() / mutex.Throughput()
+	if ratio > 0.6 {
+		t.Fatalf("TICKET/MUTEX ratio %.2f under oversubscription, want collapse (paper: 0.01)", ratio)
+	}
+}
+
+func TestRocksDBLockInsensitive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// §6.1: RocksDB's write queue means the lock choice barely matters.
+	d := RocksDB()[1] // WT/RD
+	mutex := runDef(t, d, core.KindMutex, 1)
+	mutexee := runDef(t, d, core.KindMutexee, 1)
+	ratio := mutexee.Throughput() / mutex.Throughput()
+	if ratio < 0.75 || ratio > 1.6 {
+		t.Fatalf("MUTEXEE/MUTEX ratio %.2f on RocksDB, want ≈1 (paper: 1.02-1.11)", ratio)
+	}
+}
+
+func TestCopyOnWriteListSpinVsSleep(t *testing.T) {
+	// Figure 1: the spinlock version consumes more power than mutex but
+	// achieves higher throughput.
+	d := CopyOnWriteList(20)
+	mutex := runDef(t, d, core.KindMutex, 1)
+	spin := runDef(t, d, core.KindTTAS, 1)
+	if spin.Throughput() <= mutex.Throughput() {
+		t.Fatalf("spinlock throughput (%.0f) should beat mutex (%.0f)",
+			spin.Throughput(), mutex.Throughput())
+	}
+	if spin.Power().Total <= mutex.Power().Total {
+		t.Fatalf("spinlock power (%.1f W) should exceed mutex (%.1f W)",
+			spin.Power().Total, mutex.Power().Total)
+	}
+}
+
+func TestMemoryStressPowerScalesWithThreads(t *testing.T) {
+	run := func(n int) float64 {
+		d := MemoryStress(n, power.VFMax)
+		r := d.Run(machine.DefaultConfig(1), workload.FactoryFor(core.KindMutex), testWarmup, 2_000_000)
+		return r.Power().Total
+	}
+	p0, p10, p40 := run(1), run(10), run(40)
+	if !(p0 < p10 && p10 < p40) {
+		t.Fatalf("power not increasing: %.1f %.1f %.1f", p0, p10, p40)
+	}
+	if p40 < 150 || p40 > 235 {
+		t.Fatalf("full-machine power %.1f W, want ≈200", p40)
+	}
+}
+
+func TestMemoryStressVFMinDrawsLess(t *testing.T) {
+	run := func(vf power.VF) float64 {
+		d := MemoryStress(40, vf)
+		r := d.Run(machine.DefaultConfig(1), workload.FactoryFor(core.KindMutex), testWarmup, 2_000_000)
+		return r.Power().Total
+	}
+	if min, max := run(power.VFMin), run(power.VFMax); min >= max {
+		t.Fatalf("VF-min power %.1f W not below VF-max %.1f W", min, max)
+	}
+}
+
+func TestWaitingStressPowerOrdering(t *testing.T) {
+	// Figure 3: sleeping ≪ busy-waiting power; mbar < pause.
+	runPol := func(d Definition) float64 {
+		r := d.Run(machine.DefaultConfig(1), workload.FactoryFor(core.KindMutex), testWarmup, 2_000_000)
+		return r.Power().Total
+	}
+	sleep := runPol(SleepingStress(40))
+	mbar := runPol(WaitingStress(40, machine.WaitMbar, testWarmup+3_000_000))
+	pause := runPol(WaitingStress(40, machine.WaitPause, testWarmup+3_000_000))
+	if !(sleep < mbar && mbar < pause) {
+		t.Fatalf("power ordering sleep %.1f, mbar %.1f, pause %.1f", sleep, mbar, pause)
+	}
+	// Sleeping with everything parked should approach idle power.
+	if sleep > 70 {
+		t.Fatalf("sleeping power %.1f W, want near idle 55.5", sleep)
+	}
+}
+
+func TestDeterministicSystemRuns(t *testing.T) {
+	d := Memcached()[0]
+	a := runDef(t, d, core.KindMutexee, 9)
+	b := runDef(t, d, core.KindMutexee, 9)
+	if a.Ops != b.Ops {
+		t.Fatalf("nondeterministic: %d vs %d ops", a.Ops, b.Ops)
+	}
+}

@@ -1,0 +1,69 @@
+// Package topo describes the simulated machine's processor topology and
+// the hardware-context numbering convention used throughout the library.
+//
+// Contexts are numbered the way the paper allocates threads: first the
+// cores of socket 0, then the cores of socket 1, ..., and only then the
+// second hyper-thread of each core in the same order. Pinning thread i to
+// context i therefore reproduces the paper's placement policy ("we first
+// use the cores within a socket, then the cores of the second socket, and
+// finally, the hyper-threads").
+package topo
+
+import "fmt"
+
+// Topology is a value type describing sockets × cores × hardware threads.
+type Topology struct {
+	Sockets        int
+	CoresPerSocket int
+	ThreadsPerCore int
+}
+
+// Xeon returns the paper's server: 2-socket Ivy Bridge E5-2680 v2,
+// 10 cores per socket, 2 hyper-threads per core (40 contexts).
+func Xeon() Topology { return Topology{Sockets: 2, CoresPerSocket: 10, ThreadsPerCore: 2} }
+
+// CoreI7 returns the paper's desktop: Core i7-3770K, 4 cores, 2
+// hyper-threads (8 contexts).
+func CoreI7() Topology { return Topology{Sockets: 1, CoresPerSocket: 4, ThreadsPerCore: 2} }
+
+// NumCores returns the number of physical cores.
+func (t Topology) NumCores() int { return t.Sockets * t.CoresPerSocket }
+
+// NumContexts returns the number of hardware contexts.
+func (t Topology) NumContexts() int { return t.NumCores() * t.ThreadsPerCore }
+
+// CoreOf returns the physical core of context ctx.
+func (t Topology) CoreOf(ctx int) int { return ctx % t.NumCores() }
+
+// SocketOf returns the socket of context ctx.
+func (t Topology) SocketOf(ctx int) int { return t.CoreOf(ctx) / t.CoresPerSocket }
+
+// ThreadOf returns which hardware thread of its core ctx is (0 or 1).
+func (t Topology) ThreadOf(ctx int) int { return ctx / t.NumCores() }
+
+// Siblings returns all contexts sharing ctx's physical core, including
+// ctx itself.
+func (t Topology) Siblings(ctx int) []int {
+	core := t.CoreOf(ctx)
+	out := make([]int, 0, t.ThreadsPerCore)
+	for ht := 0; ht < t.ThreadsPerCore; ht++ {
+		out = append(out, core+ht*t.NumCores())
+	}
+	return out
+}
+
+// Validate reports a descriptive error for nonsensical topologies.
+func (t Topology) Validate() error {
+	if t.Sockets <= 0 || t.CoresPerSocket <= 0 || t.ThreadsPerCore <= 0 {
+		return fmt.Errorf("topo: all dimensions must be positive: %+v", t)
+	}
+	if t.NumContexts() > 64 {
+		return fmt.Errorf("topo: at most 64 contexts supported (sharer bitmasks), got %d", t.NumContexts())
+	}
+	return nil
+}
+
+func (t Topology) String() string {
+	return fmt.Sprintf("%d socket(s) × %d cores × %d threads = %d contexts",
+		t.Sockets, t.CoresPerSocket, t.ThreadsPerCore, t.NumContexts())
+}

@@ -1,0 +1,111 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestXeonShape(t *testing.T) {
+	x := Xeon()
+	if x.NumCores() != 20 || x.NumContexts() != 40 {
+		t.Fatalf("Xeon: %d cores / %d contexts", x.NumCores(), x.NumContexts())
+	}
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if x.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestCoreI7Shape(t *testing.T) {
+	c := CoreI7()
+	if c.NumCores() != 4 || c.NumContexts() != 8 {
+		t.Fatalf("Core-i7: %d cores / %d contexts", c.NumCores(), c.NumContexts())
+	}
+}
+
+func TestPaperPlacementOrder(t *testing.T) {
+	// Context ids fill socket 0's cores, then socket 1's, then the
+	// hyper-threads, per the paper's thread-placement policy.
+	x := Xeon()
+	for ctx := 0; ctx < 10; ctx++ {
+		if x.SocketOf(ctx) != 0 || x.ThreadOf(ctx) != 0 {
+			t.Fatalf("ctx %d: socket %d thread %d", ctx, x.SocketOf(ctx), x.ThreadOf(ctx))
+		}
+	}
+	for ctx := 10; ctx < 20; ctx++ {
+		if x.SocketOf(ctx) != 1 || x.ThreadOf(ctx) != 0 {
+			t.Fatalf("ctx %d: socket %d thread %d", ctx, x.SocketOf(ctx), x.ThreadOf(ctx))
+		}
+	}
+	for ctx := 20; ctx < 40; ctx++ {
+		if x.ThreadOf(ctx) != 1 {
+			t.Fatalf("ctx %d should be a second hyper-thread", ctx)
+		}
+	}
+}
+
+func TestSiblingsShareCore(t *testing.T) {
+	x := Xeon()
+	sibs := x.Siblings(3)
+	if len(sibs) != 2 || sibs[0] != 3 || sibs[1] != 23 {
+		t.Fatalf("siblings of 3: %v", sibs)
+	}
+	for _, s := range sibs {
+		if x.CoreOf(s) != x.CoreOf(3) {
+			t.Fatalf("sibling %d on different core", s)
+		}
+	}
+}
+
+func TestValidateRejectsBadShapes(t *testing.T) {
+	for _, bad := range []Topology{
+		{Sockets: 0, CoresPerSocket: 1, ThreadsPerCore: 1},
+		{Sockets: 1, CoresPerSocket: 0, ThreadsPerCore: 1},
+		{Sockets: 1, CoresPerSocket: 1, ThreadsPerCore: 0},
+		{Sockets: 4, CoresPerSocket: 16, ThreadsPerCore: 2}, // >64 contexts
+	} {
+		if bad.Validate() == nil {
+			t.Fatalf("Validate accepted %+v", bad)
+		}
+	}
+}
+
+func TestCoreSocketConsistencyProperty(t *testing.T) {
+	f := func(s, c, h uint8) bool {
+		topo := Topology{
+			Sockets:        int(s%4) + 1,
+			CoresPerSocket: int(c%8) + 1,
+			ThreadsPerCore: int(h%2) + 1,
+		}
+		if topo.Validate() != nil {
+			return true // out of supported range, fine
+		}
+		for ctx := 0; ctx < topo.NumContexts(); ctx++ {
+			core := topo.CoreOf(ctx)
+			if core < 0 || core >= topo.NumCores() {
+				return false
+			}
+			if topo.SocketOf(ctx) != core/topo.CoresPerSocket {
+				return false
+			}
+			found := false
+			for _, sib := range topo.Siblings(ctx) {
+				if sib == ctx {
+					found = true
+				}
+				if topo.CoreOf(sib) != core {
+					return false
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

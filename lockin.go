@@ -1,0 +1,140 @@
+// Package lockin is a reproduction of "Unlocking Energy" (Falsafi,
+// Guerraoui, Picorel, Trigonakis — USENIX ATC 2016): an energy-efficiency
+// study of lock algorithms, the POLY conjecture (throughput and energy
+// efficiency go hand in hand in locks), and MUTEXEE, an optimized
+// futex-based mutex.
+//
+// The package offers three entry points:
+//
+//   - A deterministic simulated two-socket Xeon (NewMachine) on which the
+//     paper's lock algorithms (NewLock, Kinds) run with calibrated
+//     coherence, futex, scheduler and power models — including RAPL-style
+//     energy counters, which portable Go cannot read from real hardware.
+//   - The microbenchmark and system workloads of the paper's evaluation
+//     (RunMicro, Systems) and one runner per paper table/figure
+//     (Experiments, RunExperiment).
+//   - Native Go locks (package internal/golocks re-exported via
+//     NewNativeLock) for real-hardware testing.B measurements.
+//
+// See DESIGN.md for the substitution table mapping each paper artifact to
+// its simulated counterpart and EXPERIMENTS.md for paper-vs-measured
+// results.
+package lockin
+
+import (
+	"lockin/internal/core"
+	"lockin/internal/experiments"
+	"lockin/internal/golocks"
+	"lockin/internal/machine"
+	"lockin/internal/metrics"
+	"lockin/internal/systems"
+	"lockin/internal/topo"
+	"lockin/internal/workload"
+)
+
+// Machine is a simulated multicore computer (see internal/machine).
+type Machine = machine.Machine
+
+// Thread is a simulated software thread with the full operation set.
+type Thread = machine.Thread
+
+// Lock is the mutual-exclusion abstraction of the simulated algorithms.
+type Lock = core.Lock
+
+// Kind enumerates the built-in simulated lock algorithms.
+type Kind = core.Kind
+
+// The built-in simulated lock algorithms, in the paper's order.
+const (
+	MUTEX   = core.KindMutex
+	TAS     = core.KindTAS
+	TTAS    = core.KindTTAS
+	TICKET  = core.KindTicket
+	MCS     = core.KindMCS
+	CLH     = core.KindCLH
+	MUTEXEE = core.KindMutexee
+)
+
+// Kinds returns every built-in simulated algorithm.
+func Kinds() []Kind { return core.AllKinds() }
+
+// NewMachine builds a simulated Xeon (2 sockets × 10 cores × 2 threads)
+// calibrated to the paper's measurements, seeded for reproducibility.
+func NewMachine(seed int64) *Machine { return machine.NewDefault(seed) }
+
+// NewDesktopMachine builds the paper's Core i7 desktop (4 cores × 2
+// threads).
+func NewDesktopMachine(seed int64) *Machine {
+	cfg := machine.DefaultConfig(seed)
+	cfg.Topo = topo.CoreI7()
+	return machine.New(cfg)
+}
+
+// NewLock instantiates a simulated lock algorithm on m.
+func NewLock(m *Machine, k Kind) Lock { return core.New(m, k) }
+
+// NewMutexee instantiates MUTEXEE with explicit options (timeouts, spin
+// budgets, mode adaptation, ablation switches).
+func NewMutexee(m *Machine, o core.MutexeeOptions) *core.Mutexee { return core.NewMutexee(m, o) }
+
+// MutexeeOptions re-exports the MUTEXEE configuration.
+type MutexeeOptions = core.MutexeeOptions
+
+// DefaultMutexeeOptions returns the paper's Xeon tuning.
+func DefaultMutexeeOptions() MutexeeOptions { return core.DefaultMutexeeOptions() }
+
+// MicroConfig parameterizes a lock microbenchmark (threads × locks ×
+// critical-section / outside-work durations over a measured window).
+type MicroConfig = workload.MicroConfig
+
+// MicroResult is a finished microbenchmark with throughput, power, TPP
+// and optional latency histogram.
+type MicroResult = workload.Result
+
+// DefaultMicroConfig returns a single-lock configuration on the Xeon.
+func DefaultMicroConfig(seed int64) MicroConfig { return workload.DefaultMicroConfig(seed) }
+
+// RunMicro executes a microbenchmark.
+func RunMicro(cfg MicroConfig) MicroResult { return workload.RunMicro(cfg) }
+
+// FactoryFor adapts a Kind into the factory used by MicroConfig.
+func FactoryFor(k Kind) workload.LockFactory { return workload.FactoryFor(k) }
+
+// Systems returns the six software-system profiles of the paper's §6
+// evaluation (Table 3: 17 system/configuration cells).
+func Systems() []systems.Definition { return systems.All() }
+
+// Experiments returns every paper table/figure runner.
+func Experiments() []experiments.Experiment { return experiments.All() }
+
+// RunExperiment executes one experiment by id (e.g. "fig11", "tbl2")
+// with default quick options and returns its rendered tables.
+func RunExperiment(id string) ([]*metrics.Table, error) {
+	e, err := experiments.Find(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(experiments.DefaultOptions()), nil
+}
+
+// NativeLocker is a lock runnable on the host machine with real atomics.
+type NativeLocker = golocks.Locker
+
+// NewNativeLock returns the native Go implementation of the given
+// algorithm (CLH maps to MCS, its closest native sibling).
+func NewNativeLock(k Kind) NativeLocker {
+	switch k {
+	case TAS:
+		return &golocks.TAS{}
+	case TTAS:
+		return &golocks.TTAS{}
+	case TICKET:
+		return &golocks.Ticket{}
+	case MCS, CLH:
+		return &golocks.MCS{}
+	case MUTEXEE:
+		return golocks.NewMutexee()
+	default:
+		return &golocks.Mutex{}
+	}
+}
