@@ -1,0 +1,44 @@
+# Local targets mirror .github/workflows/ci.yml exactly — `make ci`
+# runs everything the pipeline runs.
+
+GO      ?= go
+WORKERS ?= 0# sweep workers: 0 = all CPUs, 1 = serial
+
+.PHONY: build test race bench lint sweep smoke ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+	$(GO) vet ./...
+
+# Regenerate every paper table/figure with quick grids through the
+# parallel sweep engine.
+sweep:
+	$(GO) run ./cmd/lockbench -experiment all -quick -workers $(WORKERS)
+
+# The CI smoke steps: quick experiments plus the parallel-vs-serial
+# output comparison.
+smoke:
+	$(GO) run ./cmd/lockbench -list
+	$(GO) run ./cmd/lockbench -experiment tbl2 -quick -workers 4
+	$(GO) run ./cmd/lockbench -experiment fig11 -quick -scale 0.25 -workers 4
+	$(GO) run ./cmd/lockbench -experiment fig8 -quick -scale 0.25 -workers 1 | sed '/done in/d' > /tmp/lockin-serial.txt
+	$(GO) run ./cmd/lockbench -experiment fig8 -quick -scale 0.25 -workers 8 | sed '/done in/d' > /tmp/lockin-parallel.txt
+	diff -u /tmp/lockin-serial.txt /tmp/lockin-parallel.txt
+	$(GO) run ./examples/polysweep -workers 4
+
+ci: lint build test race smoke bench

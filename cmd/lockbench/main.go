@@ -5,11 +5,15 @@
 //
 //	lockbench -list
 //	lockbench -experiment fig11
-//	lockbench -experiment all -scale 4 -seed 7
+//	lockbench -experiment all -scale 4 -seed 7 -workers 8
 //
 // -scale lengthens every measurement window proportionally (1.0 = quick
 // defaults, tens of millions of cycles per point; the paper's 10-second
 // runs correspond to scale ≈ 1000 and take hours).
+//
+// -workers fans the independent grid cells of each experiment out
+// across simulated machines in parallel (0 = one worker per CPU). The
+// output is bit-identical for any worker count.
 package main
 
 import (
@@ -23,11 +27,13 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list available experiments and exit")
-		id    = flag.String("experiment", "", "experiment id to run, or 'all'")
-		seed  = flag.Int64("seed", 42, "simulation RNG seed")
-		scale = flag.Float64("scale", 1.0, "measurement-window multiplier")
-		quick = flag.Bool("quick", false, "trim sweep grids (CI mode)")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		id       = flag.String("experiment", "", "experiment id to run, or 'all'")
+		seed     = flag.Int64("seed", 42, "simulation RNG seed")
+		scale    = flag.Float64("scale", 1.0, "measurement-window multiplier")
+		quick    = flag.Bool("quick", false, "trim sweep grids (CI mode)")
+		workers  = flag.Int("workers", 0, "parallel sweep workers (0 = all CPUs, 1 = serial)")
+		progress = flag.Bool("progress", false, "report per-cell sweep progress on stderr")
 	)
 	flag.Parse()
 
@@ -44,7 +50,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Seed: *seed, Scale: *scale, Quick: *quick}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Quick: *quick, Workers: *workers}
 	var todo []experiments.Experiment
 	if *id == "all" {
 		todo = experiments.All()
@@ -57,6 +63,15 @@ func main() {
 		todo = []experiments.Experiment{e}
 	}
 	for _, e := range todo {
+		if *progress {
+			eID := e.ID
+			opts.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells", eID, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
 		start := time.Now()
 		fmt.Printf("### %s — %s\n", e.ID, e.Title)
 		fmt.Printf("### paper: %s\n\n", e.Paper)

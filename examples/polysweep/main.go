@@ -1,11 +1,16 @@
 // Polysweep reproduces the POLY correlation analysis (Figure 12) as a
 // library-user example: it sweeps contention levels (threads × critical
-// sections × lock counts) across all six algorithms, prints the
-// normalized throughput↔TPP scatter as an ASCII plot, and reports the
-// Pearson correlation and best-lock agreement.
+// sections × lock counts) across all six algorithms through the
+// parallel sweep engine, prints the normalized throughput↔TPP scatter
+// as an ASCII plot, and reports the Pearson correlation and best-lock
+// agreement.
+//
+// The grid cells run -workers at a time (default: all CPUs); the output
+// is bit-identical to a serial run (-workers 1).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"strings"
 
@@ -15,47 +20,69 @@ import (
 )
 
 func main() {
+	var (
+		seed    = flag.Int64("seed", 11, "base sweep seed")
+		workers = flag.Int("workers", 0, "parallel sweep workers (0 = all CPUs, 1 = serial)")
+	)
+	flag.Parse()
+
 	threads := []int{1, 4, 16}
 	css := []sim.Cycles{500, 2000, 8000}
 	lockCounts := []int{1, 16, 256}
+	kinds := lockin.Kinds()
 
-	var thrs, tpps []float64
-	agree, total := 0, 0
+	// Flatten the grid: one sweep cell per (threads, cs, locks, kind).
+	var cfgs []lockin.MicroConfig
 	for _, n := range threads {
 		for _, cs := range css {
 			for _, lc := range lockCounts {
-				bestThr, bestTPP := -1, -1
-				var bestThrV, bestTPPV float64
-				for i, k := range lockin.Kinds() {
-					cfg := lockin.DefaultMicroConfig(11)
+				for _, k := range kinds {
+					cfg := lockin.DefaultMicroConfig(0) // seed derived per cell
 					cfg.Factory = lockin.FactoryFor(k)
 					cfg.Threads = n
 					cfg.CS = cs
 					cfg.Outside = 6*cs + 1000
 					cfg.Locks = lc
 					cfg.Duration = 4_000_000
-					r := lockin.RunMicro(cfg)
-					thrs = append(thrs, r.Throughput())
-					tpps = append(tpps, r.TPP())
-					if r.Throughput() > bestThrV {
-						bestThrV, bestThr = r.Throughput(), i
-					}
-					if r.TPP() > bestTPPV {
-						bestTPPV, bestTPP = r.TPP(), i
-					}
-				}
-				total++
-				if bestThr == bestTPP {
-					agree++
+					cfgs = append(cfgs, cfg)
 				}
 			}
+		}
+	}
+
+	opts := lockin.DefaultSweepOptions()
+	opts.Seed = *seed
+	opts.Workers = *workers
+	results := lockin.RunMicroSweep(opts, cfgs)
+
+	// Per configuration (a run of len(kinds) consecutive cells), vote
+	// for the best-throughput and best-TPP lock.
+	var thrs, tpps []float64
+	agree, total := 0, 0
+	for base := 0; base < len(results); base += len(kinds) {
+		bestThr, bestTPP := -1, -1
+		var bestThrV, bestTPPV float64
+		for i := 0; i < len(kinds); i++ {
+			r := results[base+i]
+			thrs = append(thrs, r.Throughput())
+			tpps = append(tpps, r.TPP())
+			if r.Throughput() > bestThrV {
+				bestThrV, bestThr = r.Throughput(), i
+			}
+			if r.TPP() > bestTPPV {
+				bestTPPV, bestTPP = r.TPP(), i
+			}
+		}
+		total++
+		if bestThr == bestTPP {
+			agree++
 		}
 	}
 
 	nt := metrics.Normalize(thrs)
 	ne := metrics.Normalize(tpps)
 	plot(nt, ne)
-	fmt.Printf("\nconfigurations: %d × %d locks\n", total, len(lockin.Kinds()))
+	fmt.Printf("\nconfigurations: %d × %d locks (%d sweep cells)\n", total, len(kinds), len(cfgs))
 	fmt.Printf("pearson r (throughput vs TPP): %.3f\n", metrics.Pearson(nt, ne))
 	fmt.Printf("best-throughput lock == best-TPP lock: %.0f%% (paper: 85%%)\n",
 		100*float64(agree)/float64(total))

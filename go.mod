@@ -1,0 +1,3 @@
+module lockin
+
+go 1.24

@@ -16,16 +16,23 @@ import (
 	"lockin/internal/machine"
 	"lockin/internal/metrics"
 	"lockin/internal/sim"
+	"lockin/internal/sweep"
 )
 
 // Options tunes an experiment run.
 type Options struct {
-	// Seed is the RNG seed for the simulated machines.
+	// Seed is the base RNG seed; every grid cell runs on its own
+	// simulated machine seeded with sweep.CellSeed(Seed, cell index).
 	Seed int64
 	// Scale multiplies every measurement window (1.0 = quick defaults).
 	Scale float64
 	// Quick further trims sweep grids for CI-style runs.
 	Quick bool
+	// Workers caps the number of grid cells simulated concurrently
+	// (0 = GOMAXPROCS, 1 = serial). Results are identical either way.
+	Workers int
+	// Progress, when non-nil, receives per-experiment sweep progress.
+	Progress func(done, total int)
 }
 
 // DefaultOptions returns quick settings with a fixed seed.
@@ -38,7 +45,23 @@ func (o Options) dur(base sim.Cycles) sim.Cycles {
 	return sim.Cycles(float64(base) * o.Scale)
 }
 
-func (o Options) machine() machine.Config { return machine.DefaultConfig(o.Seed) }
+// sweep lowers the experiment options onto the grid engine.
+func (o Options) sweep() sweep.Options {
+	return sweep.Options{
+		Workers:  o.Workers,
+		Seed:     o.Seed,
+		Scale:    o.Scale,
+		Quick:    o.Quick,
+		Progress: o.Progress,
+	}
+}
+
+// grid starts an empty cell grid executing under these options.
+func (o Options) grid() *sweep.Grid { return sweep.NewGrid(o.sweep()) }
+
+// machineSeeded returns the default machine configuration under the
+// given per-cell seed.
+func (o Options) machineSeeded(seed int64) machine.Config { return machine.DefaultConfig(seed) }
 
 // Experiment is one reproducible table/figure.
 type Experiment struct {

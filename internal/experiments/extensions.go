@@ -4,6 +4,7 @@ import (
 	"lockin/internal/core"
 	"lockin/internal/machine"
 	"lockin/internal/metrics"
+	"lockin/internal/sweep"
 	"lockin/internal/workload"
 )
 
@@ -28,22 +29,30 @@ func init() {
 func runFutureExtensions(o Options) []*metrics.Table {
 	t := metrics.NewTable("Extension — future-hardware and classic alternatives (20 threads, 2000-cycle CS)",
 		"lock", "throughput(Kacq/s)", "TPP(Kacq/J)", "power(W)")
-	run := func(name string, f workload.LockFactory) {
-		cfg := microCfg(o, f, 20, 2000, 1)
-		cfg.Duration = o.dur(12_000_000)
-		r := workload.RunMicro(cfg)
-		t.AddRow(name, r.Throughput()/1e3, r.TPP()/1e3, r.Power().Total)
+	variants := []struct {
+		name string
+		f    workload.LockFactory
+	}{
+		{"MUTEX", workload.FactoryFor(core.KindMutex)},
+		{"TTAS", workload.FactoryFor(core.KindTTAS)},
+		{"TICKET", workload.FactoryFor(core.KindTicket)},
+		{"MUTEXEE", workload.FactoryFor(core.KindMutexee)},
+		{"TAS-BO", func(m *machine.Machine) core.Lock { return core.NewBackoffTAS(m, 0, 0) }},
+		{"HTICKET", func(m *machine.Machine) core.Lock { return core.NewHTicket(m, machine.WaitMbar) }},
+		{"MWAIT (kernel)", func(m *machine.Machine) core.Lock { return core.NewKernelMwaitLock(m) }},
+		{"MWAIT (user, §8)", func(m *machine.Machine) core.Lock { return core.NewMwaitLock(m) }},
 	}
-	run("MUTEX", workload.FactoryFor(core.KindMutex))
-	run("TTAS", workload.FactoryFor(core.KindTTAS))
-	run("TICKET", workload.FactoryFor(core.KindTicket))
-	run("MUTEXEE", workload.FactoryFor(core.KindMutexee))
-	run("TAS-BO", func(m *machine.Machine) core.Lock { return core.NewBackoffTAS(m, 0, 0) })
-	run("HTICKET", func(m *machine.Machine) core.Lock { return core.NewHTicket(m, machine.WaitMbar) })
-	run("MWAIT (kernel)", func(m *machine.Machine) core.Lock {
-		return core.NewKernelMwaitLock(m)
-	})
-	run("MWAIT (user, §8)", func(m *machine.Machine) core.Lock { return core.NewMwaitLock(m) })
+	g := o.grid()
+	for _, v := range variants {
+		v := v
+		g.Add(func(c sweep.Cell) []sweep.Row {
+			cfg := microCfg(o, c.Seed, v.f, 20, 2000, 1)
+			cfg.Duration = o.dur(12_000_000)
+			r := workload.RunMicro(cfg)
+			return []sweep.Row{{v.name, r.Throughput() / 1e3, r.TPP() / 1e3, r.Power().Total}}
+		})
+	}
+	g.Into(t)
 	t.AddNote("MWAIT (user) models SPARC M7-style user-level monitor/mwait — the paper's §8 ask")
 	return []*metrics.Table{t}
 }
@@ -54,20 +63,23 @@ func runFutureExtensions(o Options) []*metrics.Table {
 func runFairnessExtension(o Options) []*metrics.Table {
 	t := metrics.NewTable("Extension — Jain fairness index (16 threads, 1500-cycle CS, tight loop)",
 		"lock", "jain", "throughput(Kacq/s)")
-	kinds := append([]core.Kind{}, evalKinds...)
-	for _, k := range kinds {
+	g := o.grid()
+	for _, k := range evalKinds {
 		k := k
-		var tracked *core.Tracked
-		f := func(m *machine.Machine) core.Lock {
-			tracked = core.NewTracked(core.New(m, k))
-			return tracked
-		}
-		cfg := microCfg(o, f, 16, 1500, 1)
-		cfg.Outside = 300
-		cfg.Duration = o.dur(8_000_000)
-		r := workload.RunMicro(cfg)
-		t.AddRow(k.String(), tracked.Tracker.Jain(), r.Throughput()/1e3)
+		g.Add(func(c sweep.Cell) []sweep.Row {
+			var tracked *core.Tracked
+			f := func(m *machine.Machine) core.Lock {
+				tracked = core.NewTracked(core.New(m, k))
+				return tracked
+			}
+			cfg := microCfg(o, c.Seed, f, 16, 1500, 1)
+			cfg.Outside = 300
+			cfg.Duration = o.dur(8_000_000)
+			r := workload.RunMicro(cfg)
+			return []sweep.Row{{k.String(), tracked.Tracker.Jain(), r.Throughput() / 1e3}}
+		})
 	}
+	g.Into(t)
 	t.AddNote("1.0 = perfectly even service; MUTEXEE's unfairness is its efficiency lever")
 	return []*metrics.Table{t}
 }

@@ -9,13 +9,14 @@ import (
 	"lockin/internal/metrics"
 	"lockin/internal/power"
 	"lockin/internal/sim"
+	"lockin/internal/sweep"
 )
 
 // runFig6 reproduces the futex latency microbenchmark: two threads in
 // lock-step; one sleeps on a futex, the other wakes it after a delay.
 // Reported: the wake-up call latency and the turnaround latency (from
 // wake invocation until the woken thread runs), as medians over many
-// rounds per delay.
+// rounds per delay. Each delay is one grid cell.
 func runFig6(o Options) []*metrics.Table {
 	delays := []sim.Cycles{100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000, 1_000_000, 3_000_000, 10_000_000}
 	if o.Quick {
@@ -24,10 +25,15 @@ func runFig6(o Options) []*metrics.Table {
 	rounds := 15
 	t := metrics.NewTable("Figure 6 — futex operation latencies",
 		"delay(cycles)", "wake-call p50", "wake-call p95", "turnaround p50", "turnaround p95")
+	g := o.grid()
 	for _, d := range delays {
-		wake, turn := futexRoundTrips(o, d, rounds)
-		t.AddRow(uint64(d), pct(wake, 0.5), pct(wake, 0.95), pct(turn, 0.5), pct(turn, 0.95))
+		d := d
+		g.Add(func(c sweep.Cell) []sweep.Row {
+			wake, turn := futexRoundTrips(o, c.Seed, d, rounds)
+			return []sweep.Row{{uint64(d), pct(wake, 0.5), pct(wake, 0.95), pct(turn, 0.5), pct(turn, 0.95)}}
+		})
 	}
+	g.Into(t)
 	t.AddNote("turnaround = wake invocation → woken thread running; paper floor ≈7000 cycles")
 	return []*metrics.Table{t}
 }
@@ -46,8 +52,8 @@ func pct(xs []sim.Cycles, q float64) uint64 {
 // futexRoundTrips runs `rounds` sleep/wake pairs with the given delay
 // between the sleep call and the wake call, collecting per-round wake
 // call latency and turnaround latency.
-func futexRoundTrips(o Options, delay sim.Cycles, rounds int) (wakeLat, turnLat []sim.Cycles) {
-	m := machine.New(o.machine())
+func futexRoundTrips(o Options, seed int64, delay sim.Cycles, rounds int) (wakeLat, turnLat []sim.Cycles) {
+	m := machine.New(o.machineSeeded(seed))
 	line := m.NewLine("word")
 	w := m.NewFutexWord(line)
 	var resumedAt sim.Cycles
@@ -85,36 +91,41 @@ func futexRoundTrips(o Options, delay sim.Cycles, rounds int) (wakeLat, turnLat 
 
 // runSleepPeriodTable reproduces the §4.4 sleep-benefit table: one thread
 // sleeps on a futex, the second wakes it with a fixed period; average
-// power is reported per period.
+// power is reported per period. One cell per period.
 func runSleepPeriodTable(o Options) []*metrics.Table {
 	t := metrics.NewTable("§4.4 — power vs period between wake-up calls",
 		"period(cycles)", "power(W)")
+	g := o.grid()
 	for _, period := range []sim.Cycles{1024, 2048, 4096, 8192} {
-		m := machine.New(o.machine())
-		line := m.NewLine("word")
-		w := m.NewFutexWord(line)
-		stop := o.dur(4_000_000)
-		m.Spawn("sleeper", func(t *machine.Thread) {
-			for t.Proc().Now() < stop {
-				t.Store(line, 1)
-				t.FutexWait(w, 1, 0)
-			}
+		period := period
+		g.Add(func(c sweep.Cell) []sweep.Row {
+			m := machine.New(o.machineSeeded(c.Seed))
+			line := m.NewLine("word")
+			w := m.NewFutexWord(line)
+			stop := o.dur(4_000_000)
+			m.Spawn("sleeper", func(t *machine.Thread) {
+				for t.Proc().Now() < stop {
+					t.Store(line, 1)
+					t.FutexWait(w, 1, 0)
+				}
+			})
+			m.Spawn("waker", func(t *machine.Thread) {
+				for t.Proc().Now() < stop {
+					t.Compute(period)
+					t.Store(line, 0)
+					t.FutexWake(w, 1)
+				}
+			})
+			e0snap := power.Energy{}
+			var e1snap power.Energy
+			m.K.Schedule(o.dur(300_000), func() { e0snap = m.Meter.Energy() })
+			m.K.Schedule(stop, func() { e1snap = m.Meter.Energy() })
+			m.K.Drain()
+			p := e1snap.Sub(e0snap).Power(stop-o.dur(300_000), m.Config().Power.BaseFreqGHz)
+			return []sweep.Row{{uint64(period), p.Total}}
 		})
-		m.Spawn("waker", func(t *machine.Thread) {
-			for t.Proc().Now() < stop {
-				t.Compute(period)
-				t.Store(line, 0)
-				t.FutexWake(w, 1)
-			}
-		})
-		e0snap := power.Energy{}
-		var e1snap power.Energy
-		m.K.Schedule(o.dur(300_000), func() { e0snap = m.Meter.Energy() })
-		m.K.Schedule(stop, func() { e1snap = m.Meter.Energy() })
-		m.K.Drain()
-		p := e1snap.Sub(e0snap).Power(stop-o.dur(300_000), m.Config().Power.BaseFreqGHz)
-		t.AddRow(uint64(period), p.Total)
 	}
+	g.Into(t)
 	t.AddNote("power decreases only once the period exceeds the ≈2100-cycle sleep latency")
 	return []*metrics.Table{t}
 }
@@ -122,7 +133,8 @@ func runSleepPeriodTable(o Options) []*metrics.Table {
 // runFig7 reproduces the spin-then-sleep communication benchmark: N
 // threads hand a token around; at most two communicate via busy waiting
 // while the rest sleep; after T busy handovers the active thread wakes a
-// sleeper and goes to sleep itself.
+// sleeper and goes to sleep itself. One (thread count, scheme) pair per
+// cell.
 func runFig7(o Options) []*metrics.Table {
 	t := metrics.NewTable("Figure 7 — sleep vs spin vs spin-then-sleep",
 		"threads", "scheme", "power(W)", "handovers(Mops/s)")
@@ -130,15 +142,21 @@ func runFig7(o Options) []*metrics.Table {
 	if o.Quick {
 		threads = []int{10, 40}
 	}
+	schemes := []struct {
+		name string
+		T    int
+	}{{"sleep", 0}, {"spin", -1}, {"ss-1", 1}, {"ss-10", 10}, {"ss-100", 100}, {"ss-1000", 1000}}
+	g := o.grid()
 	for _, n := range threads {
-		for _, sc := range []struct {
-			name string
-			T    int
-		}{{"sleep", 0}, {"spin", -1}, {"ss-1", 1}, {"ss-10", 10}, {"ss-100", 100}, {"ss-1000", 1000}} {
-			p, thr := runHandoff(o, n, sc.T)
-			t.AddRow(n, sc.name, p, thr/1e6)
+		for _, sc := range schemes {
+			n, sc := n, sc
+			g.Add(func(c sweep.Cell) []sweep.Row {
+				p, thr := runHandoff(o, c.Seed, n, sc.T)
+				return []sweep.Row{{n, sc.name, p, thr / 1e6}}
+			})
 		}
 	}
+	g.Into(t)
 	t.AddNote("T = busy-wait handovers per futex handover; spin = all threads busy-wait")
 	return []*metrics.Table{t}
 }
@@ -152,8 +170,8 @@ func runFig7(o Options) []*metrics.Table {
 //	         take its place and goes to sleep ("ss-T").
 //
 // Each thread sleeps on its own futex word, so wakes are targeted.
-func runHandoff(o Options, n, T int) (watts, handoversPerSec float64) {
-	m := machine.New(o.machine())
+func runHandoff(o Options, seed int64, n, T int) (watts, handoversPerSec float64) {
+	m := machine.New(o.machineSeeded(seed))
 	token := m.NewLine("token") // id+1 of the thread allowed to act
 	stop := o.dur(4_000_000)
 	measFrom := o.dur(300_000)

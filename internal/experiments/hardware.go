@@ -6,13 +6,15 @@ import (
 	"lockin/internal/metrics"
 	"lockin/internal/power"
 	"lockin/internal/sim"
+	"lockin/internal/sweep"
 	"lockin/internal/systems"
 	"lockin/internal/workload"
 )
 
-// runDef executes a systems.Definition and returns the measurement.
-func runDef(o Options, d systems.Definition, f workload.LockFactory, dur sim.Cycles) systems.Result {
-	return d.Run(o.machine(), f, o.dur(300_000), o.dur(dur))
+// runDef executes a systems.Definition on a machine with the given
+// per-cell seed and returns the measurement.
+func runDef(o Options, seed int64, d systems.Definition, f workload.LockFactory, dur sim.Cycles) systems.Result {
+	return d.Run(o.machineSeeded(seed), f, o.dur(300_000), o.dur(dur))
 }
 
 func threadSweep(quick bool) []int {
@@ -30,14 +32,23 @@ func init() {
 		Run: func(o Options) []*metrics.Table {
 			t := metrics.NewTable("Figure 1 — CopyOnWriteArrayList stress",
 				"threads", "lock", "power(W)", "thr(Kops/s)", "TPP(Kops/J)", "power vs mutex", "TPP vs mutex")
+			g := o.grid()
 			for _, n := range []int{10, 20} {
-				d := systems.CopyOnWriteList(n)
-				mu := runDef(o, d, workload.FactoryFor(core.KindMutex), 20_000_000)
-				sp := runDef(o, d, workload.FactoryFor(core.KindTTAS), 20_000_000)
-				t.AddRow(n, "mutex", mu.Power().Total, mu.Throughput()/1e3, mu.TPP()/1e3, 1.0, 1.0)
-				t.AddRow(n, "spinlock", sp.Power().Total, sp.Throughput()/1e3, sp.TPP()/1e3,
-					sp.Power().Total/mu.Power().Total, sp.TPP()/mu.TPP())
+				n := n
+				// One cell per thread count: the spinlock row is
+				// normalized to the mutex run of the same cell.
+				g.Add(func(c sweep.Cell) []sweep.Row {
+					d := systems.CopyOnWriteList(n)
+					mu := runDef(o, c.Seed, d, workload.FactoryFor(core.KindMutex), 20_000_000)
+					sp := runDef(o, c.Seed, d, workload.FactoryFor(core.KindTTAS), 20_000_000)
+					return []sweep.Row{
+						{n, "mutex", mu.Power().Total, mu.Throughput() / 1e3, mu.TPP() / 1e3, 1.0, 1.0},
+						{n, "spinlock", sp.Power().Total, sp.Throughput() / 1e3, sp.TPP() / 1e3,
+							sp.Power().Total / mu.Power().Total, sp.TPP() / mu.TPP()},
+					}
+				})
 			}
+			g.Into(t)
 			return []*metrics.Table{t}
 		},
 	})
@@ -49,29 +60,35 @@ func init() {
 		Run: func(o Options) []*metrics.Table {
 			var out []*metrics.Table
 			for _, vf := range []power.VF{power.VFMin, power.VFMax} {
-				// In the VF-min sweep, the whole machine sits at the low
-				// point: idle contexts vote VF-min as well, as when the
-				// governor pins the platform frequency.
-				mc := o.machine()
-				if vf == power.VFMin {
-					mc.Sched.IdleVF = power.VFMin
-				}
+				vf := vf
 				t := metrics.NewTable("Figure 2 — memory-stress power breakdown ("+vf.String()+")",
 					"hyper-threads", "total(W)", "package(W)", "cores(W)", "DRAM(W)")
+				g := o.grid()
 				for _, n := range append([]int{0}, threadSweep(o.Quick)...) {
-					var p power.Breakdown
-					if n == 0 {
-						m := machine.New(mc)
-						e0 := m.Meter.Energy()
-						m.K.Run(o.dur(2_000_000))
-						p = m.Meter.Energy().Sub(e0).Power(m.K.Now(), m.Config().Power.BaseFreqGHz)
-					} else {
-						r := systems.MemoryStress(n, vf).Run(mc, workload.FactoryFor(core.KindMutex),
-							o.dur(300_000), o.dur(2_000_000))
-						p = r.Power()
-					}
-					t.AddRow(n, p.Total, p.Package, p.Cores, p.DRAM)
+					n := n
+					g.Add(func(c sweep.Cell) []sweep.Row {
+						// In the VF-min sweep, the whole machine sits at the
+						// low point: idle contexts vote VF-min as well, as
+						// when the governor pins the platform frequency.
+						mc := o.machineSeeded(c.Seed)
+						if vf == power.VFMin {
+							mc.Sched.IdleVF = power.VFMin
+						}
+						var p power.Breakdown
+						if n == 0 {
+							m := machine.New(mc)
+							e0 := m.Meter.Energy()
+							m.K.Run(o.dur(2_000_000))
+							p = m.Meter.Energy().Sub(e0).Power(m.K.Now(), m.Config().Power.BaseFreqGHz)
+						} else {
+							r := systems.MemoryStress(n, vf).Run(mc, workload.FactoryFor(core.KindMutex),
+								o.dur(300_000), o.dur(2_000_000))
+							p = r.Power()
+						}
+						return []sweep.Row{{n, p.Total, p.Package, p.Cores, p.DRAM}}
+					})
 				}
+				g.Into(t)
 				out = append(out, t)
 			}
 			return out
@@ -85,19 +102,25 @@ func init() {
 		Run: func(o Options) []*metrics.Table {
 			t := metrics.NewTable("Figure 3 — the price of waiting",
 				"threads", "technique", "power(W)", "CPI")
+			g := o.grid()
 			for _, n := range threadSweep(o.Quick) {
-				{
-					r := runDef(o, systems.SleepingStress(n), workload.FactoryFor(core.KindMutex), 3_000_000)
-					t.AddRow(n, "sleeping", r.Power().Total, 0.0)
-				}
+				n := n
+				g.Add(func(c sweep.Cell) []sweep.Row {
+					r := runDef(o, c.Seed, systems.SleepingStress(n), workload.FactoryFor(core.KindMutex), 3_000_000)
+					return []sweep.Row{{n, "sleeping", r.Power().Total, 0.0}}
+				})
 				for _, pol := range []machine.WaitPolicy{machine.WaitGlobal, machine.WaitLocal} {
-					d := systems.WaitingStress(n, pol, o.dur(3_300_000))
-					rn := systems.NewRunner(o.machine(), o.dur(300_000), o.dur(3_000_000))
-					d.Build(rn, workload.FactoryFor(core.KindMutex))
-					r := rn.Finish()
-					t.AddRow(n, pol.String(), r.Power().Total, rn.M.CPI(pol.Activity()))
+					pol := pol
+					g.Add(func(c sweep.Cell) []sweep.Row {
+						d := systems.WaitingStress(n, pol, o.dur(3_300_000))
+						rn := systems.NewRunner(o.machineSeeded(c.Seed), o.dur(300_000), o.dur(3_000_000))
+						d.Build(rn, workload.FactoryFor(core.KindMutex))
+						r := rn.Finish()
+						return []sweep.Row{{n, pol.String(), r.Power().Total, rn.M.CPI(pol.Activity())}}
+					})
 				}
 			}
+			g.Into(t)
 			return []*metrics.Table{t}
 		},
 	})
@@ -110,15 +133,20 @@ func init() {
 			t := metrics.NewTable("Figure 4 — pausing techniques",
 				"threads", "technique", "power(W)", "CPI")
 			pols := []machine.WaitPolicy{machine.WaitGlobal, machine.WaitLocal, machine.WaitPause, machine.WaitMbar}
+			g := o.grid()
 			for _, n := range threadSweep(o.Quick) {
 				for _, pol := range pols {
-					d := systems.WaitingStress(n, pol, o.dur(3_300_000))
-					rn := systems.NewRunner(o.machine(), o.dur(300_000), o.dur(3_000_000))
-					d.Build(rn, workload.FactoryFor(core.KindMutex))
-					r := rn.Finish()
-					t.AddRow(n, pol.String(), r.Power().Total, rn.M.CPI(pol.Activity()))
+					n, pol := n, pol
+					g.Add(func(c sweep.Cell) []sweep.Row {
+						d := systems.WaitingStress(n, pol, o.dur(3_300_000))
+						rn := systems.NewRunner(o.machineSeeded(c.Seed), o.dur(300_000), o.dur(3_000_000))
+						d.Build(rn, workload.FactoryFor(core.KindMutex))
+						r := rn.Finish()
+						return []sweep.Row{{n, pol.String(), r.Power().Total, rn.M.CPI(pol.Activity())}}
+					})
 				}
 			}
+			g.Into(t)
 			return []*metrics.Table{t}
 		},
 	})
@@ -130,37 +158,40 @@ func init() {
 		Run: func(o Options) []*metrics.Table {
 			t := metrics.NewTable("Figure 5 — DVFS and monitor/mwait",
 				"threads", "series", "power(W)")
+			g := o.grid()
 			for _, n := range threadSweep(o.Quick) {
+				n := n
 				// VF-max: plain mbar spinning.
-				{
+				g.Add(func(c sweep.Cell) []sweep.Row {
 					d := systems.WaitingStress(n, machine.WaitMbar, o.dur(3_300_000))
-					r := runDef(o, d, workload.FactoryFor(core.KindMutex), 3_000_000)
-					t.AddRow(n, "VF-max", r.Power().Total)
-				}
+					r := runDef(o, c.Seed, d, workload.FactoryFor(core.KindMutex), 3_000_000)
+					return []sweep.Row{{n, "VF-max", r.Power().Total}}
+				})
 				// VF-min: the whole machine held at the low VF point.
-				{
-					mc := o.machine()
+				g.Add(func(c sweep.Cell) []sweep.Row {
+					mc := o.machineSeeded(c.Seed)
 					mc.Sched.IdleVF = power.VFMin
 					rn := systems.NewRunner(mc, o.dur(300_000), o.dur(3_000_000))
 					spawnVFSpinners(rn, n, power.VFMin)
 					r := rn.Finish()
-					t.AddRow(n, "VF-min", r.Power().Total)
-				}
+					return []sweep.Row{{n, "VF-min", r.Power().Total}}
+				})
 				// DVFS-normal: threads request VF-min, idle siblings keep
 				// voting VF-max (the hardware behaviour of §4.2).
-				{
-					rn := systems.NewRunner(o.machine(), o.dur(300_000), o.dur(3_000_000))
+				g.Add(func(c sweep.Cell) []sweep.Row {
+					rn := systems.NewRunner(o.machineSeeded(c.Seed), o.dur(300_000), o.dur(3_000_000))
 					spawnVFSpinners(rn, n, power.VFMin)
 					r := rn.Finish()
-					t.AddRow(n, "DVFS-normal", r.Power().Total)
-				}
+					return []sweep.Row{{n, "DVFS-normal", r.Power().Total}}
+				})
 				// monitor/mwait.
-				{
+				g.Add(func(c sweep.Cell) []sweep.Row {
 					d := systems.WaitingStress(n, machine.WaitMwait, o.dur(3_300_000))
-					r := runDef(o, d, workload.FactoryFor(core.KindMutex), 3_000_000)
-					t.AddRow(n, "monitor/mwait", r.Power().Total)
-				}
+					r := runDef(o, c.Seed, d, workload.FactoryFor(core.KindMutex), 3_000_000)
+					return []sweep.Row{{n, "monitor/mwait", r.Power().Total}}
+				})
 			}
+			g.Into(t)
 			return []*metrics.Table{t}
 		},
 	})

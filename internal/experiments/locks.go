@@ -5,12 +5,14 @@ import (
 	"lockin/internal/machine"
 	"lockin/internal/metrics"
 	"lockin/internal/sim"
+	"lockin/internal/sweep"
 	"lockin/internal/workload"
 )
 
-// microCfg builds a microbenchmark configuration for one data point.
-func microCfg(o Options, f workload.LockFactory, threads int, cs sim.Cycles, locks int) workload.MicroConfig {
-	cfg := workload.DefaultMicroConfig(o.Seed)
+// microCfg builds a microbenchmark configuration for one grid cell,
+// whose machine is seeded with the cell's derived seed.
+func microCfg(o Options, seed int64, f workload.LockFactory, threads int, cs sim.Cycles, locks int) workload.MicroConfig {
+	cfg := workload.DefaultMicroConfig(seed)
 	cfg.Factory = f
 	cfg.Threads = threads
 	cfg.Locks = locks
@@ -39,12 +41,17 @@ func init() {
 		Run: func(o Options) []*metrics.Table {
 			t := metrics.NewTable("Table 2 — uncontested locking",
 				"lock", "throughput(Macq/s)", "TPP(Kacq/J)")
+			g := o.grid()
 			for _, k := range evalKinds {
-				cfg := microCfg(o, workload.FactoryFor(k), 1, 100, 1)
-				cfg.Outside = 0
-				r := workload.RunMicro(cfg)
-				t.AddRow(k.String(), r.Throughput()/1e6, r.TPP()/1e3)
+				k := k
+				g.Add(func(c sweep.Cell) []sweep.Row {
+					cfg := microCfg(o, c.Seed, workload.FactoryFor(k), 1, 100, 1)
+					cfg.Outside = 0
+					r := workload.RunMicro(cfg)
+					return []sweep.Row{{k.String(), r.Throughput() / 1e6, r.TPP() / 1e3}}
+				})
 			}
+			g.Into(t)
 			return []*metrics.Table{t}
 		},
 	})
@@ -60,12 +67,17 @@ func init() {
 			if o.Quick {
 				threads = []int{1, 20, 40, 50}
 			}
+			g := o.grid()
 			for _, n := range threads {
 				for _, k := range evalKinds {
-					r := workload.RunMicro(microCfg(o, workload.FactoryFor(k), n, 1000, 1))
-					t.AddRow(n, k.String(), r.Throughput()/1e6, r.TPP()/1e3, r.Power().Total)
+					n, k := n, k
+					g.Add(func(c sweep.Cell) []sweep.Row {
+						r := workload.RunMicro(microCfg(o, c.Seed, workload.FactoryFor(k), n, 1000, 1))
+						return []sweep.Row{{n, k.String(), r.Throughput() / 1e6, r.TPP() / 1e3, r.Power().Total}}
+					})
 				}
 			}
+			g.Into(t)
 			return []*metrics.Table{t}
 		},
 	})
@@ -83,13 +95,18 @@ func init() {
 				threads = []int{20, 60}
 				css = []sim.Cycles{1000, 8000}
 			}
+			g := o.grid()
 			for _, n := range threads {
 				for _, cs := range css {
-					mu := workload.RunMicro(microCfg(o, workload.FactoryFor(core.KindMutex), n, cs, 1))
-					me := workload.RunMicro(microCfg(o, workload.FactoryFor(core.KindMutexee), n, cs, 1))
-					t.AddRow(n, uint64(cs), ratio(me.Throughput(), mu.Throughput()), ratio(me.TPP(), mu.TPP()))
+					n, cs := n, cs
+					g.Add(func(c sweep.Cell) []sweep.Row {
+						mu := workload.RunMicro(microCfg(o, c.Seed, workload.FactoryFor(core.KindMutex), n, cs, 1))
+						me := workload.RunMicro(microCfg(o, c.Seed, workload.FactoryFor(core.KindMutexee), n, cs, 1))
+						return []sweep.Row{{n, uint64(cs), ratio(me.Throughput(), mu.Throughput()), ratio(me.TPP(), mu.TPP())}}
+					})
 				}
 			}
+			g.Into(t)
 			return []*metrics.Table{t}
 		},
 	})
@@ -105,19 +122,24 @@ func init() {
 			if o.Quick {
 				css = []sim.Cycles{2000, 8000}
 			}
+			g := o.grid()
 			for _, cs := range css {
 				for _, k := range []core.Kind{core.KindMutex, core.KindMutexee} {
-					cfg := microCfg(o, workload.FactoryFor(k), 20, cs, 1)
-					cfg.Outside = cs / 4 // tight loop: unfairness shows in the tail
-					cfg.RecordLatency = true
-					cfg.Duration = o.dur(20_000_000)
-					r := workload.RunMicro(cfg)
-					t.AddRow(uint64(cs), k.String(),
-						float64(r.Latency.Percentile(0.95))/1e3,
-						float64(r.Latency.Percentile(0.9999))/1e3,
-						float64(r.Latency.Max())/1e3)
+					cs, k := cs, k
+					g.Add(func(c sweep.Cell) []sweep.Row {
+						cfg := microCfg(o, c.Seed, workload.FactoryFor(k), 20, cs, 1)
+						cfg.Outside = cs / 4 // tight loop: unfairness shows in the tail
+						cfg.RecordLatency = true
+						cfg.Duration = o.dur(20_000_000)
+						r := workload.RunMicro(cfg)
+						return []sweep.Row{{uint64(cs), k.String(),
+							float64(r.Latency.Percentile(0.95)) / 1e3,
+							float64(r.Latency.Percentile(0.9999)) / 1e3,
+							float64(r.Latency.Max()) / 1e3}}
+					})
 				}
 			}
+			g.Into(t)
 			return []*metrics.Table{t}
 		},
 	})
@@ -135,22 +157,44 @@ func init() {
 				threads = []int{20}
 				timeouts = []sim.Cycles{22_400, 22_400_000}
 			}
+			// Cell grid: per thread count, one timeout-free baseline cell
+			// followed by one cell per timeout setting.
+			type spec struct {
+				n       int
+				timeout sim.Cycles // 0 = baseline (no timeout)
+			}
+			var cells []spec
 			for _, n := range threads {
-				bcfg := microCfg(o, workload.FactoryFor(core.KindMutexee), n, 2000, 1)
-				bcfg.Outside = 500 // tight loop: sleepers starve without timeouts
-				base := workload.RunMicro(bcfg)
+				cells = append(cells, spec{n, 0})
 				for _, to := range timeouts {
-					to := to
-					f := func(m *machine.Machine) core.Lock {
+					cells = append(cells, spec{n, to})
+				}
+			}
+			type meas struct{ thr, tpp float64 }
+			results := sweep.Run(o.sweep(), len(cells), func(c sweep.Cell) meas {
+				s := cells[c.Index]
+				f := workload.FactoryFor(core.KindMutexee)
+				if s.timeout > 0 {
+					to := s.timeout
+					f = func(m *machine.Machine) core.Lock {
 						opts := core.DefaultMutexeeOptions()
 						opts.Timeout = to
 						return core.NewMutexee(m, opts)
 					}
-					tcfg := microCfg(o, f, n, 2000, 1)
-					tcfg.Outside = 500
-					r := workload.RunMicro(tcfg)
-					t.AddRow(n, uint64(to), ratio(base.Throughput(), r.Throughput()), ratio(base.TPP(), r.TPP()))
 				}
+				cfg := microCfg(o, c.Seed, f, s.n, 2000, 1)
+				cfg.Outside = 500 // tight loop: sleepers starve without timeouts
+				r := workload.RunMicro(cfg)
+				return meas{r.Throughput(), r.TPP()}
+			})
+			var base meas
+			for i, s := range cells {
+				if s.timeout == 0 {
+					base = results[i]
+					continue
+				}
+				t.AddRow(s.n, uint64(s.timeout),
+					ratio(base.thr, results[i].thr), ratio(base.tpp, results[i].tpp))
 			}
 			t.AddNote("timeouts in cycles at 2.8 GHz: 22.4K ≈ 8 µs, 22.4M ≈ 8 ms, 89.6M ≈ 32 ms")
 			return []*metrics.Table{t}
@@ -164,21 +208,31 @@ func init() {
 		Run: func(o Options) []*metrics.Table {
 			t := metrics.NewTable("§5.1 — fairness/performance trade-off (20 threads, 2000-cycle CS)",
 				"lock", "throughput(Kacq/s)", "TPP(Kacq/J)", "max latency(Mcycles)")
-			run := func(name string, f workload.LockFactory) {
-				cfg := microCfg(o, f, 20, 2000, 1)
-				cfg.Outside = 500 // tight loop, as in the paper's single-lock stress
-				cfg.RecordLatency = true
-				cfg.Duration = o.dur(30_000_000)
-				r := workload.RunMicro(cfg)
-				t.AddRow(name, r.Throughput()/1e3, r.TPP()/1e3, float64(r.Latency.Max())/1e6)
+			variants := []struct {
+				name string
+				f    workload.LockFactory
+			}{
+				{"MUTEX", workload.FactoryFor(core.KindMutex)},
+				{"MUTEXEE", workload.FactoryFor(core.KindMutexee)},
+				{"MUTEXEE timeout", func(m *machine.Machine) core.Lock {
+					opts := core.DefaultMutexeeOptions()
+					opts.Timeout = 2_800_000 // ≈1 ms (scaled to the shortened window)
+					return core.NewMutexee(m, opts)
+				}},
 			}
-			run("MUTEX", workload.FactoryFor(core.KindMutex))
-			run("MUTEXEE", workload.FactoryFor(core.KindMutexee))
-			run("MUTEXEE timeout", func(m *machine.Machine) core.Lock {
-				opts := core.DefaultMutexeeOptions()
-				opts.Timeout = 2_800_000 // ≈1 ms (scaled to the shortened window)
-				return core.NewMutexee(m, opts)
-			})
+			g := o.grid()
+			for _, v := range variants {
+				v := v
+				g.Add(func(c sweep.Cell) []sweep.Row {
+					cfg := microCfg(o, c.Seed, v.f, 20, 2000, 1)
+					cfg.Outside = 500 // tight loop, as in the paper's single-lock stress
+					cfg.RecordLatency = true
+					cfg.Duration = o.dur(30_000_000)
+					r := workload.RunMicro(cfg)
+					return []sweep.Row{{v.name, r.Throughput() / 1e3, r.TPP() / 1e3, float64(r.Latency.Max()) / 1e6}}
+				})
+			}
+			g.Into(t)
 			return []*metrics.Table{t}
 		},
 	})
@@ -200,7 +254,9 @@ func ratio(a, b float64) float64 {
 
 // runFig12 sweeps threads × critical-section × lock-count configurations
 // for all six algorithms and reports the throughput↔TPP correlation and
-// best-lock agreement statistics.
+// best-lock agreement statistics. Each grid cell is one configuration:
+// it runs all six locks on machines derived from the cell seed, so the
+// best-lock vote is decided within a single cell.
 func runFig12(o Options) []*metrics.Table {
 	threads := []int{1, 4, 8, 16}
 	css := []sim.Cycles{0, 1000, 4000, 8000}
@@ -210,41 +266,60 @@ func runFig12(o Options) []*metrics.Table {
 		css = []sim.Cycles{1000, 8000}
 		lockCounts = []int{1, 128}
 	}
-	var thrs, tpps []float64
-	agree, total := 0, 0
-	var mutexeeThr, mutexThr, mutexeeTPP, mutexTPP float64
+	type config struct {
+		n  int
+		cs sim.Cycles
+		lc int
+	}
+	var cells []config
 	for _, n := range threads {
 		for _, cs := range css {
 			for _, lc := range lockCounts {
-				bestThr, bestTPP := -1, -1
-				var bestThrV, bestTPPV float64
-				for i, k := range evalKinds {
-					cfg := microCfg(o, workload.FactoryFor(k), n, cs, lc)
-					cfg.Duration = o.dur(5_000_000)
-					r := workload.RunMicro(cfg)
-					thr, tpp := r.Throughput(), r.TPP()
-					thrs = append(thrs, thr)
-					tpps = append(tpps, tpp)
-					if thr > bestThrV {
-						bestThrV, bestThr = thr, i
-					}
-					if tpp > bestTPPV {
-						bestTPPV, bestTPP = tpp, i
-					}
-					switch k {
-					case core.KindMutex:
-						mutexThr += thr
-						mutexTPP += tpp
-					case core.KindMutexee:
-						mutexeeThr += thr
-						mutexeeTPP += tpp
-					}
-				}
-				total++
-				if bestThr == bestTPP {
-					agree++
-				}
+				cells = append(cells, config{n, cs, lc})
 			}
+		}
+	}
+	type pair struct{ thr, tpp float64 }
+	results := sweep.Run(o.sweep(), len(cells), func(c sweep.Cell) []pair {
+		cfg := cells[c.Index]
+		out := make([]pair, len(evalKinds))
+		for i, k := range evalKinds {
+			mc := microCfg(o, c.Seed, workload.FactoryFor(k), cfg.n, cfg.cs, cfg.lc)
+			mc.Duration = o.dur(5_000_000)
+			r := workload.RunMicro(mc)
+			out[i] = pair{r.Throughput(), r.TPP()}
+		}
+		return out
+	})
+
+	var thrs, tpps []float64
+	agree, total := 0, 0
+	var mutexeeThr, mutexThr, mutexeeTPP, mutexTPP float64
+	for _, runs := range results {
+		bestThr, bestTPP := -1, -1
+		var bestThrV, bestTPPV float64
+		for i, k := range evalKinds {
+			thr, tpp := runs[i].thr, runs[i].tpp
+			thrs = append(thrs, thr)
+			tpps = append(tpps, tpp)
+			if thr > bestThrV {
+				bestThrV, bestThr = thr, i
+			}
+			if tpp > bestTPPV {
+				bestTPPV, bestTPP = tpp, i
+			}
+			switch k {
+			case core.KindMutex:
+				mutexThr += thr
+				mutexTPP += tpp
+			case core.KindMutexee:
+				mutexeeThr += thr
+				mutexeeTPP += tpp
+			}
+		}
+		total++
+		if bestThr == bestTPP {
+			agree++
 		}
 	}
 	t := metrics.NewTable("Figure 12 — POLY correlation summary",

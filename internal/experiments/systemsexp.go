@@ -5,6 +5,7 @@ import (
 	"lockin/internal/machine"
 	"lockin/internal/metrics"
 	"lockin/internal/sim"
+	"lockin/internal/sweep"
 	"lockin/internal/systems"
 	"lockin/internal/workload"
 )
@@ -19,9 +20,11 @@ type sysResult struct {
 	res  systems.Result
 }
 
-// runSystems executes every Table 3 definition under the three locks.
+// runSystems executes every Table 3 definition under the three locks,
+// one sweep cell per (definition, lock) pair.
 func runSystems(o Options, defs []systems.Definition) []sysResult {
-	var out []sysResult
+	var jobs []systems.Job
+	var cells []sysResult
 	for _, d := range defs {
 		// Oversubscribed systems need several timeslice rotations for the
 		// spinlock livelock to express itself.
@@ -30,11 +33,19 @@ func runSystems(o Options, defs []systems.Definition) []sysResult {
 			dur = 60_000_000
 		}
 		for _, k := range systemKinds {
-			res := d.Run(o.machine(), workload.FactoryFor(k), o.dur(300_000), o.dur(dur))
-			out = append(out, sysResult{def: d, kind: k, res: res})
+			jobs = append(jobs, systems.Job{
+				Def:      d,
+				Factory:  workload.FactoryFor(k),
+				Warmup:   o.dur(300_000),
+				Duration: o.dur(dur),
+			})
+			cells = append(cells, sysResult{def: d, kind: k})
 		}
 	}
-	return out
+	for i, res := range systems.RunJobs(o.sweep(), jobs) {
+		cells[i].res = res
+	}
+	return cells
 }
 
 func defsFor(o Options) []systems.Definition {
@@ -134,28 +145,39 @@ func fig15Defs(o Options) []systems.Definition {
 	return out
 }
 
-// runAblation quantifies the design choices DESIGN.md calls out.
+// runAblation quantifies the MUTEXEE design choices, one sweep cell per
+// variant.
 func runAblation(o Options) []*metrics.Table {
 	t := metrics.NewTable("MUTEXEE and spin-policy ablations (20 threads, 2000-cycle CS)",
 		"variant", "throughput(Kacq/s)", "TPP(Kacq/J)", "power(W)")
-	run := func(name string, f workload.LockFactory) {
-		cfg := workload.DefaultMicroConfig(o.Seed)
-		cfg.Factory = f
-		cfg.Threads = 20
-		cfg.CS = 2000
-		cfg.Outside = 500
-		cfg.Warmup = o.dur(300_000)
-		cfg.Duration = o.dur(15_000_000)
-		r := workload.RunMicro(cfg)
-		t.AddRow(name, r.Throughput()/1e3, r.TPP()/1e3, r.Power().Total)
+	variants := []struct {
+		name string
+		f    workload.LockFactory
+	}{
+		{"MUTEXEE (default)", workload.FactoryFor(core.KindMutexee)},
+		{"MUTEXEE spin=500", mutexeeVariant(func(o *core.MutexeeOptions) { o.SpinLock = 500 })},
+		{"MUTEXEE no unlock-wait", mutexeeVariant(func(o *core.MutexeeOptions) { o.UnlockWait = false })},
+		{"MUTEXEE no adaptation", mutexeeVariant(func(o *core.MutexeeOptions) { o.Adaptive = false })},
+		{"MUTEX (reference)", workload.FactoryFor(core.KindMutex)},
+		{"TICKET mbar", workload.FactoryFor(core.KindTicket)},
+		{"TICKET pause", func(m *machine.Machine) core.Lock { return core.NewTicket(m, machine.WaitPause) }},
 	}
-	run("MUTEXEE (default)", workload.FactoryFor(core.KindMutexee))
-	run("MUTEXEE spin=500", mutexeeVariant(func(o *core.MutexeeOptions) { o.SpinLock = 500 }))
-	run("MUTEXEE no unlock-wait", mutexeeVariant(func(o *core.MutexeeOptions) { o.UnlockWait = false }))
-	run("MUTEXEE no adaptation", mutexeeVariant(func(o *core.MutexeeOptions) { o.Adaptive = false }))
-	run("MUTEX (reference)", workload.FactoryFor(core.KindMutex))
-	run("TICKET mbar", workload.FactoryFor(core.KindTicket))
-	run("TICKET pause", func(m *machine.Machine) core.Lock { return core.NewTicket(m, machine.WaitPause) })
+	g := o.grid()
+	for _, v := range variants {
+		v := v
+		g.Add(func(c sweep.Cell) []sweep.Row {
+			cfg := workload.DefaultMicroConfig(c.Seed)
+			cfg.Factory = v.f
+			cfg.Threads = 20
+			cfg.CS = 2000
+			cfg.Outside = 500
+			cfg.Warmup = o.dur(300_000)
+			cfg.Duration = o.dur(15_000_000)
+			r := workload.RunMicro(cfg)
+			return []sweep.Row{{v.name, r.Throughput() / 1e3, r.TPP() / 1e3, r.Power().Total}}
+		})
+	}
+	g.Into(t)
 	return []*metrics.Table{t}
 }
 

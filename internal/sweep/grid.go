@@ -1,0 +1,39 @@
+package sweep
+
+import "lockin/internal/metrics"
+
+// Row is one metrics.Table row produced by a grid cell.
+type Row []any
+
+// Grid collects row-producing cells and streams their output into a
+// metrics.Table. Cells execute in parallel under the engine's
+// determinism contract; rows land in the table in registration order
+// regardless of completion order, so the rendered table is byte-equal
+// to a serial run.
+type Grid struct {
+	opts  Options
+	cells []func(Cell) []Row
+}
+
+// NewGrid creates an empty grid executing under o.
+func NewGrid(o Options) *Grid { return &Grid{opts: o} }
+
+// Add registers one cell. fn receives the cell's index and derived
+// seed and returns the table rows (zero or more) for that cell.
+func (g *Grid) Add(fn func(c Cell) []Row) { g.cells = append(g.cells, fn) }
+
+// Len returns the number of registered cells.
+func (g *Grid) Len() int { return len(g.cells) }
+
+// Into runs every registered cell and appends the produced rows to t
+// in registration order, streaming each row as soon as its prefix of
+// cells has completed.
+func (g *Grid) Into(t *metrics.Table) {
+	Each(g.opts, len(g.cells), func(c Cell) []Row {
+		return g.cells[c.Index](c)
+	}, func(_ int, rows []Row) {
+		for _, r := range rows {
+			t.AddRow(r...)
+		}
+	})
+}

@@ -1,0 +1,187 @@
+// Package sweep is the parallel experiment-grid engine. The paper's
+// evaluation is dominated by grids of independent cells (lock kind ×
+// thread count × critical-section length, one simulated machine per
+// cell); sweep fans those cells out across a worker pool while keeping
+// the output bit-identical to a serial run.
+//
+// Determinism contract: a cell's result may depend only on its Cell
+// value — its index in the grid and the seed derived from it — never on
+// scheduling order or worker count. Each cell builds its own simulated
+// machine seeded with CellSeed(Options.Seed, index), a stable hash, so
+// re-running with any Workers value (including the serial fallback
+// Workers=1) reproduces the same results in the same order.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Options tunes a sweep run. The engine itself consumes Workers, Seed
+// and Progress; Scale and Quick ride along for the grid builders that
+// enumerate cells (internal/experiments applies them to window lengths
+// and grid sizes, workload.RunSweep applies Scale to each
+// configuration's windows). The zero value of every field is usable.
+type Options struct {
+	// Workers is the number of concurrent grid cells (0 = GOMAXPROCS,
+	// 1 = serial fallback in the caller's goroutine).
+	Workers int
+	// Seed is the base RNG seed; each cell derives its own machine seed
+	// via CellSeed(Seed, index).
+	Seed int64
+	// Scale multiplies every measurement window (values ≤ 0 mean the
+	// quick default, 1.0). Interpreted by grid builders, not the engine.
+	Scale float64
+	// Quick trims sweep grids for CI-style runs. Interpreted by grid
+	// builders, not the engine.
+	Quick bool
+	// Progress, when non-nil, is called from the collecting goroutine
+	// after each cell finishes, with the number of finished cells and
+	// the grid total.
+	Progress func(done, total int)
+}
+
+// DefaultOptions returns quick settings with a fixed seed and one
+// worker per available CPU.
+func DefaultOptions() Options { return Options{Seed: 42, Scale: 1.0} }
+
+// WorkerCount resolves Workers: values ≤ 0 map to GOMAXPROCS.
+func (o Options) WorkerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// CellSeed derives the machine seed of grid cell index from the base
+// seed. It is a pure function (splitmix64-style finalizer), so a cell's
+// seed is independent of evaluation order, worker count, and the
+// presence of other cells.
+func CellSeed(seed int64, index int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(index)+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Cell identifies one grid cell of a sweep.
+type Cell struct {
+	// Index is the cell's position in registration order.
+	Index int
+	// Seed is CellSeed(Options.Seed, Index): the seed for this cell's
+	// simulated machine.
+	Seed int64
+}
+
+func (o Options) cell(i int) Cell { return Cell{Index: i, Seed: CellSeed(o.Seed, i)} }
+
+// Run executes n independent cells across the worker pool and returns
+// their results in index order.
+func Run[T any](o Options, n int, fn func(Cell) T) []T {
+	out := make([]T, n)
+	Each(o, n, fn, func(i int, v T) { out[i] = v })
+	return out
+}
+
+// Each executes n independent cells across the worker pool, streaming
+// results to emit in strict index order as each prefix completes. emit
+// and Progress run on the calling goroutine; fn runs on worker
+// goroutines (or inline when the pool resolves to one worker).
+func Each[T any](o Options, n int, fn func(Cell) T, emit func(i int, v T)) {
+	if n <= 0 {
+		return
+	}
+	workers := o.WorkerCount()
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v := fn(o.cell(i))
+			if o.Progress != nil {
+				o.Progress(i+1, n)
+			}
+			emit(i, v)
+		}
+		return
+	}
+
+	type result struct {
+		i     int
+		v     T
+		panic any
+	}
+	idx := make(chan int)
+	// out is buffered to n so workers and the feeder always drain even
+	// if the collector re-panics early.
+	out := make(chan result, n)
+	// stop aborts dispatch after a cell panics, so a failure early in a
+	// long sweep doesn't simulate the remaining cells before surfacing.
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				r := result{i: i}
+				func() {
+					defer func() { r.panic = recover() }()
+					r.v = fn(o.cell(i))
+				}()
+				out <- r
+			}
+		}()
+	}
+	go func() {
+	feed:
+		for i := 0; i < n; i++ {
+			select {
+			case idx <- i:
+			case <-stop:
+				break feed
+			}
+		}
+		close(idx)
+		wg.Wait()
+		close(out)
+	}()
+
+	pending := make(map[int]T, workers)
+	next, done := 0, 0
+	var failed any
+	for r := range out {
+		if r.panic != nil && failed == nil {
+			failed = fmt.Errorf("sweep: cell %d panicked: %v", r.i, r.panic)
+			stopOnce.Do(func() { close(stop) })
+			continue
+		}
+		done++
+		if o.Progress != nil {
+			o.Progress(done, n)
+		}
+		pending[r.i] = r.v
+		for {
+			v, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if failed == nil {
+				emit(next, v)
+			}
+			next++
+		}
+	}
+	if failed != nil {
+		panic(failed)
+	}
+}

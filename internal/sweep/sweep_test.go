@@ -1,0 +1,201 @@
+package sweep
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lockin/internal/metrics"
+)
+
+// TestCellSeedGolden pins the per-cell seed derivation: these values
+// are part of the determinism contract (results recorded with one
+// binary must reproduce with the next).
+func TestCellSeedGolden(t *testing.T) {
+	got := []int64{CellSeed(42, 0), CellSeed(42, 1), CellSeed(42, 2), CellSeed(7, 0)}
+	want := []int64{-4767286540954276203, 2949826092126892291, 5139283748462763858, 7191089600892374487}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("CellSeed not stable at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+	// Distinctness over a realistic grid (no two cells share a machine).
+	seen := map[int64]int{}
+	for i := 0; i < 4096; i++ {
+		s := CellSeed(42, i)
+		if j, dup := seen[s]; dup {
+			t.Fatalf("CellSeed collision: cells %d and %d both seed %d", j, i, s)
+		}
+		seen[s] = i
+	}
+}
+
+// TestCellSeedStableAcrossReorderings is the regression test for the
+// seeding contract: evaluating cells in any order, with any worker
+// count, and within any larger grid yields the same seed per index.
+func TestCellSeedStableAcrossReorderings(t *testing.T) {
+	const n = 64
+	want := make([]int64, n)
+	for i := 0; i < n; i++ {
+		want[i] = CellSeed(42, i)
+	}
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		if got := CellSeed(42, i); got != want[i] {
+			t.Fatalf("seed for cell %d changed under reordering: %d vs %d", i, got, want[i])
+		}
+	}
+	for _, workers := range []int{1, 3, 8} {
+		o := Options{Workers: workers, Seed: 42}
+		seeds := Run(o, n, func(c Cell) int64 { return c.Seed })
+		for i := range seeds {
+			if seeds[i] != want[i] {
+				t.Fatalf("Workers=%d delivered seed %d for cell %d, want %d", workers, seeds[i], i, want[i])
+			}
+		}
+	}
+}
+
+// TestRunParallelMatchesSerial checks the core contract on a cell body
+// with deliberately skewed completion times.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	fn := func(c Cell) string {
+		// Later cells finish first, forcing out-of-order completion.
+		time.Sleep(time.Duration(50-c.Index) * 10 * time.Microsecond)
+		return fmt.Sprintf("cell-%d-seed-%d", c.Index, c.Seed)
+	}
+	serial := Run(Options{Workers: 1, Seed: 42}, 50, fn)
+	parallel := Run(Options{Workers: 8, Seed: 42}, 50, fn)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("cell %d: serial %q vs parallel %q", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestEachEmitsInIndexOrder verifies streaming delivery order and that
+// emit runs on the calling goroutine (no locking needed by callers).
+func TestEachEmitsInIndexOrder(t *testing.T) {
+	var order []int
+	Each(Options{Workers: 6, Seed: 1}, 40, func(c Cell) int {
+		time.Sleep(time.Duration((c.Index%7)+1) * 50 * time.Microsecond)
+		return c.Index * 3
+	}, func(i, v int) {
+		if v != i*3 {
+			t.Errorf("cell %d delivered value %d, want %d", i, v, i*3)
+		}
+		order = append(order, i)
+	})
+	if len(order) != 40 {
+		t.Fatalf("emitted %d cells, want 40", len(order))
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("emit order broken at %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+func TestProgressCountsEveryCell(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var calls int32
+		last := 0
+		o := Options{Workers: workers, Seed: 9, Progress: func(done, total int) {
+			atomic.AddInt32(&calls, 1)
+			if total != 17 {
+				t.Errorf("total %d, want 17", total)
+			}
+			if done <= last || done > total {
+				t.Errorf("non-monotonic progress: %d after %d", done, last)
+			}
+			last = done
+		}}
+		Run(o, 17, func(c Cell) int { return c.Index })
+		if calls != 17 {
+			t.Fatalf("Workers=%d: %d progress calls, want 17", workers, calls)
+		}
+	}
+}
+
+func TestWorkerCountDefaults(t *testing.T) {
+	if got := (Options{}).WorkerCount(); got < 1 {
+		t.Fatalf("default WorkerCount %d, want ≥1", got)
+	}
+	if got := (Options{Workers: 5}).WorkerCount(); got != 5 {
+		t.Fatalf("explicit WorkerCount %d, want 5", got)
+	}
+}
+
+func TestGridStreamsRowsInRegistrationOrder(t *testing.T) {
+	build := func(workers int) string {
+		tab := metrics.NewTable("grid", "cell", "seed")
+		g := NewGrid(Options{Workers: workers, Seed: 42})
+		for i := 0; i < 30; i++ {
+			i := i
+			g.Add(func(c Cell) []Row {
+				if c.Index != i {
+					t.Errorf("cell closure %d ran with index %d", i, c.Index)
+				}
+				time.Sleep(time.Duration((30-i)%5) * 40 * time.Microsecond)
+				return []Row{{i, c.Seed}, {i, c.Seed + 1}}
+			})
+		}
+		if g.Len() != 30 {
+			t.Fatalf("grid has %d cells, want 30", g.Len())
+		}
+		g.Into(tab)
+		return tab.String()
+	}
+	serial := build(1)
+	parallel := build(8)
+	if serial != parallel {
+		t.Fatalf("grid output differs:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Workers=%d: cell panic swallowed", workers)
+				}
+			}()
+			Run(Options{Workers: workers, Seed: 3}, 10, func(c Cell) int {
+				if c.Index == 7 {
+					panic("boom")
+				}
+				return c.Index
+			})
+		}()
+	}
+}
+
+// TestPanicStopsDispatch checks that a failing cell aborts the sweep
+// instead of simulating every remaining cell first.
+func TestPanicStopsDispatch(t *testing.T) {
+	const n = 200
+	var executed int32
+	func() {
+		defer func() { recover() }()
+		Run(Options{Workers: 4, Seed: 3}, n, func(c Cell) int {
+			atomic.AddInt32(&executed, 1)
+			if c.Index == 0 {
+				panic("boom")
+			}
+			time.Sleep(5 * time.Millisecond)
+			return c.Index
+		})
+	}()
+	if got := atomic.LoadInt32(&executed); got > n/2 {
+		t.Fatalf("%d of %d cells executed after early panic; dispatch not cancelled", got, n)
+	}
+}
+
+func TestRunEmptyGrid(t *testing.T) {
+	if got := Run(Options{Workers: 4}, 0, func(c Cell) int { return 1 }); len(got) != 0 {
+		t.Fatalf("empty grid returned %v", got)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"lockin/internal/metrics"
 	"lockin/internal/power"
 	"lockin/internal/sim"
+	"lockin/internal/sweep"
 	"lockin/internal/workload"
 )
 
@@ -129,6 +130,35 @@ func Find(id string) (Definition, error) {
 		}
 	}
 	return Definition{}, fmt.Errorf("systems: unknown definition %q", id)
+}
+
+// Job is one sweep cell: a system definition executed under one lock
+// factory on its own simulated machine.
+type Job struct {
+	Def      Definition
+	Factory  workload.LockFactory
+	Warmup   sim.Cycles
+	Duration sim.Cycles
+	// Machine optionally overrides the machine configuration template;
+	// its Seed is replaced with the cell's derived seed. Nil means the
+	// default Xeon.
+	Machine *machine.Config
+}
+
+// RunJobs fans the jobs out as a parallel sweep grid — one simulated
+// machine per job, seeded with sweep.CellSeed(o.Seed, job index) — and
+// returns the results in job order. Output is identical for any
+// worker count.
+func RunJobs(o sweep.Options, jobs []Job) []Result {
+	return sweep.Run(o, len(jobs), func(c sweep.Cell) Result {
+		j := jobs[c.Index]
+		mc := machine.DefaultConfig(c.Seed)
+		if j.Machine != nil {
+			mc = *j.Machine
+			mc.Seed = c.Seed
+		}
+		return j.Def.Run(mc, j.Factory, j.Warmup, j.Duration)
+	})
 }
 
 // lockedOp is the common "acquire, work, release, note" request body.

@@ -13,6 +13,7 @@ import (
 	"lockin/internal/metrics"
 	"lockin/internal/power"
 	"lockin/internal/sim"
+	"lockin/internal/sweep"
 )
 
 // LockFactory builds the lock instances for a run.
@@ -65,6 +66,25 @@ type Result struct {
 	Machine *machine.Machine
 	// Locks exposes the lock instances (e.g. for MUTEXEE statistics).
 	Locks []core.Lock
+}
+
+// RunSweep executes each configuration as one cell of a parallel sweep
+// grid and returns the results in configuration order. Every cell runs
+// on its own simulated machine whose seed is replaced with
+// sweep.CellSeed(o.Seed, index), so the output is bit-identical for any
+// worker count (including the serial fallback o.Workers == 1).
+// o.Scale > 0 multiplies each configuration's warmup and measurement
+// windows.
+func RunSweep(o sweep.Options, cfgs []MicroConfig) []Result {
+	return sweep.Run(o, len(cfgs), func(c sweep.Cell) Result {
+		cfg := cfgs[c.Index]
+		cfg.Machine.Seed = c.Seed
+		if o.Scale > 0 && o.Scale != 1 {
+			cfg.Warmup = sim.Cycles(float64(cfg.Warmup) * o.Scale)
+			cfg.Duration = sim.Cycles(float64(cfg.Duration) * o.Scale)
+		}
+		return RunMicro(cfg)
+	})
 }
 
 // RunMicro executes the microbenchmark described by cfg.

@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"testing"
+
+	"lockin/internal/core"
+	"lockin/internal/sweep"
+)
+
+// TestRunSweepDeterministic checks that a parallel configuration sweep
+// returns the same measurements as the serial fallback, in
+// configuration order.
+func TestRunSweepDeterministic(t *testing.T) {
+	var cfgs []MicroConfig
+	for _, n := range []int{1, 4, 8} {
+		for _, k := range []core.Kind{core.KindMutex, core.KindTAS} {
+			cfg := DefaultMicroConfig(0) // seed replaced per cell by RunSweep
+			cfg.Factory = FactoryFor(k)
+			cfg.Threads = n
+			cfg.Duration = 2_000_000
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	serial := RunSweep(sweep.Options{Workers: 1, Seed: 42}, cfgs)
+	parallel := RunSweep(sweep.Options{Workers: 8, Seed: 42}, cfgs)
+	if len(serial) != len(cfgs) || len(parallel) != len(cfgs) {
+		t.Fatalf("result count: serial %d parallel %d, want %d", len(serial), len(parallel), len(cfgs))
+	}
+	for i := range serial {
+		if serial[i].Ops != parallel[i].Ops ||
+			serial[i].TotalAcquires != parallel[i].TotalAcquires ||
+			serial[i].EndTime != parallel[i].EndTime ||
+			serial[i].Energy != parallel[i].Energy {
+			t.Fatalf("cell %d differs: serial {ops %d acq %d end %d} parallel {ops %d acq %d end %d}",
+				i, serial[i].Ops, serial[i].TotalAcquires, serial[i].EndTime,
+				parallel[i].Ops, parallel[i].TotalAcquires, parallel[i].EndTime)
+		}
+	}
+	// Different cells must not share a machine seed (the per-cell hash
+	// actually landed in the configs).
+	if serial[0].Machine.Config().Seed == serial[1].Machine.Config().Seed {
+		t.Fatal("adjacent cells share a machine seed; per-cell derivation not applied")
+	}
+}
+
+// TestRunSweepHonorsScale checks that Options.Scale lengthens the
+// measurement windows of every configuration.
+func TestRunSweepHonorsScale(t *testing.T) {
+	cfg := DefaultMicroConfig(0)
+	cfg.Duration = 1_000_000
+	cfg.Warmup = 100_000
+	base := RunSweep(sweep.Options{Workers: 1, Seed: 42}, []MicroConfig{cfg})[0]
+	scaled := RunSweep(sweep.Options{Workers: 1, Seed: 42, Scale: 3}, []MicroConfig{cfg})[0]
+	if scaled.Window != 3*base.Window {
+		t.Fatalf("scaled window %d, want 3×%d", scaled.Window, base.Window)
+	}
+	if scaled.Ops <= base.Ops {
+		t.Fatalf("scaled run measured %d ops, base %d — longer window should do more work", scaled.Ops, base.Ops)
+	}
+}

@@ -14,11 +14,16 @@
 //     (RunMicro, Systems) and one runner per paper table/figure
 //     (Experiments, RunExperiment).
 //   - Native Go locks (package internal/golocks re-exported via
-//     NewNativeLock) for real-hardware testing.B measurements.
+//     NewNativeLock) for real-hardware benchmarks with the testing
+//     package's testing.B.
 //
-// See DESIGN.md for the substitution table mapping each paper artifact to
-// its simulated counterpart and EXPERIMENTS.md for paper-vs-measured
-// results.
+// Experiment grids (lock kind × thread count × critical-section length)
+// run through the parallel sweep engine (internal/sweep, re-exported as
+// SweepOptions/RunMicroSweep): independent cells fan out across worker
+// goroutines, each on its own simulated machine with a stable per-cell
+// seed, so parallel output is bit-identical to a serial run. See
+// README.md for the package layout, the sweep engine's determinism
+// contract, and how to run the CI checks locally.
 package lockin
 
 import (
@@ -27,6 +32,7 @@ import (
 	"lockin/internal/golocks"
 	"lockin/internal/machine"
 	"lockin/internal/metrics"
+	"lockin/internal/sweep"
 	"lockin/internal/systems"
 	"lockin/internal/topo"
 	"lockin/internal/workload"
@@ -97,6 +103,25 @@ func DefaultMicroConfig(seed int64) MicroConfig { return workload.DefaultMicroCo
 // RunMicro executes a microbenchmark.
 func RunMicro(cfg MicroConfig) MicroResult { return workload.RunMicro(cfg) }
 
+// SweepOptions configures the parallel sweep engine: worker count, base
+// seed, window scale and an optional progress callback. Results are
+// bit-identical for any Workers value. The Quick field only trims the
+// grids of pre-built experiments (RunExperimentWith); it has no effect
+// on an explicit configuration list.
+type SweepOptions = sweep.Options
+
+// DefaultSweepOptions returns quick settings with a fixed seed and one
+// worker per CPU.
+func DefaultSweepOptions() SweepOptions { return sweep.DefaultOptions() }
+
+// RunMicroSweep executes many microbenchmark configurations as a
+// parallel sweep, one simulated machine per configuration seeded with a
+// stable hash of (o.Seed, index). Results come back in configuration
+// order.
+func RunMicroSweep(o SweepOptions, cfgs []MicroConfig) []MicroResult {
+	return workload.RunSweep(o, cfgs)
+}
+
 // FactoryFor adapts a Kind into the factory used by MicroConfig.
 func FactoryFor(k Kind) workload.LockFactory { return workload.FactoryFor(k) }
 
@@ -107,14 +132,28 @@ func Systems() []systems.Definition { return systems.All() }
 // Experiments returns every paper table/figure runner.
 func Experiments() []experiments.Experiment { return experiments.All() }
 
+// ExperimentOptions tunes an experiment run: seed, window scale, quick
+// grids, and the sweep worker count.
+type ExperimentOptions = experiments.Options
+
+// DefaultExperimentOptions returns quick settings with a fixed seed.
+func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }
+
 // RunExperiment executes one experiment by id (e.g. "fig11", "tbl2")
 // with default quick options and returns its rendered tables.
 func RunExperiment(id string) ([]*metrics.Table, error) {
+	return RunExperimentWith(id, experiments.DefaultOptions())
+}
+
+// RunExperimentWith executes one experiment under explicit options —
+// including ExperimentOptions.Workers, which fans the experiment's grid
+// cells out across parallel workers without changing the output.
+func RunExperimentWith(id string, o ExperimentOptions) ([]*metrics.Table, error) {
 	e, err := experiments.Find(id)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(experiments.DefaultOptions()), nil
+	return e.Run(o), nil
 }
 
 // NativeLocker is a lock runnable on the host machine with real atomics.
