@@ -4,7 +4,7 @@
 GO      ?= go
 WORKERS ?= 0# sweep workers: 0 = all CPUs, 1 = serial
 
-.PHONY: build test race bench lint sweep smoke ci
+.PHONY: build test race bench lint sweep smoke results ci
 
 build:
 	$(GO) build ./...
@@ -41,4 +41,15 @@ smoke:
 	diff -u /tmp/lockin-serial.txt /tmp/lockin-parallel.txt
 	$(GO) run ./examples/polysweep -workers 4
 
-ci: lint build test race smoke bench
+# The CI determinism gate: save a quick baseline of every experiment,
+# rerun, and self-diff (zero differences), then check that a sharded
+# rerun merges back byte-identical.
+results:
+	rm -rf /tmp/lockin-results
+	$(GO) run ./cmd/lockbench -experiment all -quick -scale 0.25 -workers $(WORKERS) -json /tmp/lockin-results/baseline > /dev/null
+	$(GO) run ./cmd/lockbench -experiment all -quick -scale 0.25 -workers $(WORKERS) -baseline /tmp/lockin-results/baseline -diff > /dev/null
+	$(GO) run ./cmd/lockbench -experiment fig10 -quick -scale 0.25 -shard 0/2 -json /tmp/lockin-results/s0 > /dev/null
+	$(GO) run ./cmd/lockbench -experiment fig10 -quick -scale 0.25 -shard 1/2 -json /tmp/lockin-results/s1 > /dev/null
+	$(GO) run ./cmd/lockbench -experiment fig10 -quick -scale 0.25 -merge /tmp/lockin-results/s0,/tmp/lockin-results/s1 -baseline /tmp/lockin-results/baseline -diff
+
+ci: lint build test race smoke results bench

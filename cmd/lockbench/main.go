@@ -1,5 +1,5 @@
 // Command lockbench regenerates the paper's tables and figures on the
-// simulated Xeon.
+// simulated Xeon and manages the persistent results store.
 //
 // Usage:
 //
@@ -7,9 +7,22 @@
 //	lockbench -experiment fig11
 //	lockbench -experiment all -scale 4 -seed 7 -workers 8
 //
+// Results store (save a baseline, rerun, diff):
+//
+//	lockbench -experiment fig10 -json out/
+//	lockbench -experiment fig10 -baseline out/ -diff
+//
+// Multi-process sharding (the union of shards is byte-identical to an
+// unsharded run):
+//
+//	lockbench -experiment fig10 -shard 0/2 -json s0/
+//	lockbench -experiment fig10 -shard 1/2 -json s1/
+//	lockbench -experiment fig10 -merge s0/,s1/ -json merged/
+//
 // -scale lengthens every measurement window proportionally (1.0 = quick
 // defaults, tens of millions of cycles per point; the paper's 10-second
-// runs correspond to scale ≈ 1000 and take hours).
+// runs correspond to scale ≈ 1000 and take hours — store them with
+// -json and let CI diff quick runs against them with -baseline -tol).
 //
 // -workers fans the independent grid cells of each experiment out
 // across simulated machines in parallel (0 = one worker per CPU). The
@@ -20,9 +33,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"lockin/internal/experiments"
+	"lockin/internal/metrics"
+	"lockin/internal/results"
 )
 
 func main() {
@@ -34,6 +53,12 @@ func main() {
 		quick    = flag.Bool("quick", false, "trim sweep grids (CI mode)")
 		workers  = flag.Int("workers", 0, "parallel sweep workers (0 = all CPUs, 1 = serial)")
 		progress = flag.Bool("progress", false, "report per-cell sweep progress on stderr")
+		jsonDir  = flag.String("json", "", "save each experiment's tables to <dir>/<id>.json (results store)")
+		baseline = flag.String("baseline", "", "results-store directory to diff this run against")
+		diffGate = flag.Bool("diff", false, "with -baseline: exit 1 when any difference survives the tolerance")
+		tol      = flag.Float64("tol", 0, "relative per-cell tolerance for -baseline comparisons (0 = exact)")
+		shardArg = flag.String("shard", "", "run one shard of each grid, format i/n (e.g. 0/2)")
+		mergeArg = flag.String("merge", "", "comma-separated shard store dirs: merge stored shards instead of simulating")
 	)
 	flag.Parse()
 
@@ -50,7 +75,28 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Seed: *seed, Scale: *scale, Quick: *quick, Workers: *workers}
+	shardIdx, shardCnt, err := parseShard(*shardArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *diffGate && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "lockbench: -diff needs -baseline <dir>")
+		os.Exit(2)
+	}
+	if *baseline != "" && shardCnt > 1 {
+		fmt.Fprintln(os.Stderr, "lockbench: -baseline compares full runs; merge the shards first (-merge)")
+		os.Exit(2)
+	}
+	if *mergeArg != "" && shardCnt > 1 {
+		fmt.Fprintln(os.Stderr, "lockbench: -merge and -shard are mutually exclusive")
+		os.Exit(2)
+	}
+
+	opts := experiments.Options{
+		Seed: *seed, Scale: *scale, Quick: *quick, Workers: *workers,
+		ShardIndex: shardIdx, ShardCount: shardCnt,
+	}
 	var todo []experiments.Experiment
 	if *id == "all" {
 		todo = experiments.All()
@@ -62,22 +108,145 @@ func main() {
 		}
 		todo = []experiments.Experiment{e}
 	}
+	// Aggregate experiments post-process statistics across all grid
+	// cells; a shard's table is a partial summary, not a row slice, so
+	// merging shards would produce duplicated, wrong rows. Refuse them.
+	if shardCnt > 1 || *mergeArg != "" {
+		kept := todo[:0]
+		for _, e := range todo {
+			if !e.Aggregate {
+				kept = append(kept, e)
+				continue
+			}
+			if *id != "all" {
+				fmt.Fprintf(os.Stderr, "lockbench: %s aggregates statistics across its whole grid; shards cannot be merged — run it unsharded\n", e.ID)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "lockbench: skipping aggregate experiment %s under -shard/-merge; run it unsharded\n", e.ID)
+		}
+		todo = kept
+	}
+
+	tolerance := results.Tolerance{Default: *tol}
+	differs := false
 	for _, e := range todo {
-		if *progress {
-			eID := e.ID
-			opts.Progress = func(done, total int) {
-				fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells", eID, done, total)
-				if done == total {
-					fmt.Fprintln(os.Stderr)
+		var run *results.Run
+		if *mergeArg != "" {
+			run, err = mergeStored(e.ID, strings.Split(*mergeArg, ","))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("### %s — %s (merged from stored shards)\n\n", e.ID, e.Title)
+			printTables(run.Tables)
+		} else {
+			if *progress {
+				eID := e.ID
+				opts.Progress = func(done, total int) {
+					fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells", eID, done, total)
+					if done == total {
+						fmt.Fprintln(os.Stderr)
+					}
 				}
 			}
+			start := time.Now()
+			fmt.Printf("### %s — %s\n", e.ID, e.Title)
+			fmt.Printf("### paper: %s\n\n", e.Paper)
+			tables := e.Run(opts)
+			printTables(tables)
+			fmt.Printf("### %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+			run = &results.Run{
+				Meta: results.Meta{
+					Experiment: e.ID, Seed: *seed, Scale: *scale, Quick: *quick,
+					Workers: *workers, ShardIndex: shardIdx, ShardCount: shardCnt,
+					Version: results.Version(),
+				},
+				Tables: tables,
+			}
 		}
-		start := time.Now()
-		fmt.Printf("### %s — %s\n", e.ID, e.Title)
-		fmt.Printf("### paper: %s\n\n", e.Paper)
-		for _, tab := range e.Run(opts) {
-			fmt.Println(tab)
+
+		if *jsonDir != "" {
+			path, err := results.Save(*jsonDir, run)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("### saved %s\n\n", path)
 		}
-		fmt.Printf("### %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *baseline != "" {
+			base, err := results.LoadExperiment(*baseline, e.ID)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			rep := results.Diff(base, run, tolerance)
+			fmt.Printf("### %s vs baseline %s (tol %g): %s\n", e.ID, *baseline, *tol, strings.TrimRight(rep.String(), "\n"))
+			if !rep.Empty() {
+				differs = true
+			}
+		}
 	}
+	if differs && *diffGate {
+		fmt.Fprintln(os.Stderr, "lockbench: differences against baseline")
+		os.Exit(1)
+	}
+}
+
+func printTables(tabs []*metrics.Table) {
+	for _, t := range tabs {
+		fmt.Println(t)
+	}
+}
+
+// parseShard parses "i/n" into (i, n); an empty argument is unsharded.
+func parseShard(s string) (idx, count int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	is, ns, ok := strings.Cut(s, "/")
+	if ok {
+		idx, err = strconv.Atoi(is)
+		if err == nil {
+			count, err = strconv.Atoi(ns)
+		}
+	}
+	if !ok || err != nil {
+		return 0, 0, fmt.Errorf("lockbench: -shard wants i/n (e.g. 0/2), got %q", s)
+	}
+	if count < 1 || idx < 0 || idx >= count {
+		return 0, 0, fmt.Errorf("lockbench: -shard %q out of range", s)
+	}
+	return idx, count, nil
+}
+
+// mergeStored loads the stored shard runs of one experiment from the
+// given store directories and reassembles the full run.
+func mergeStored(id string, dirs []string) (*results.Run, error) {
+	var shards []*results.Run
+	for _, dir := range dirs {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(dir, id+".shard*.json"))
+		if err != nil {
+			return nil, fmt.Errorf("lockbench: scan %s: %w", dir, err)
+		}
+		if len(matches) == 0 {
+			// Accept an unsharded file too, so a 1-shard "merge" works.
+			matches = []string{filepath.Join(dir, id+".json")}
+		}
+		sort.Strings(matches)
+		for _, m := range matches {
+			r, err := results.Load(m)
+			if err != nil {
+				return nil, err
+			}
+			shards = append(shards, r)
+		}
+	}
+	if len(shards) == 1 && shards[0].Meta.ShardCount <= 1 {
+		return shards[0], nil
+	}
+	return results.Merge(shards...)
 }

@@ -2,31 +2,32 @@
 // script (§5.1): it runs the calibration microbenchmarks on the simulated
 // platform and prints the MUTEXEE configuration parameters derived from
 // the measured futex latencies and coherence costs.
+//
+// The calibration lands in a metrics.Table, so -json stores it in the
+// same results store as experiment runs — a platform's tuning numbers
+// can be saved once and diffed whenever the simulator's futex or
+// coherence model changes.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"lockin/internal/machine"
+	"lockin/internal/metrics"
+	"lockin/internal/results"
 	"lockin/internal/sim"
 )
 
 func main() {
 	seed := flag.Int64("seed", 42, "simulation RNG seed")
+	jsonDir := flag.String("json", "", "save the table to <dir>/mutexeetune.json (results store)")
 	flag.Parse()
-
-	fmt.Println("MUTEXEE platform tuning (simulated Xeon)")
-	fmt.Println("----------------------------------------")
 
 	sleepLat := measureSleepLatency(*seed)
 	turnaround := measureTurnaround(*seed)
 	coherence := measureCoherence(*seed)
-
-	fmt.Printf("futex sleep call latency:   %6d cycles\n", sleepLat)
-	fmt.Printf("futex wake turnaround:      %6d cycles\n", turnaround)
-	fmt.Printf("max coherence latency:      %6d cycles\n", coherence)
-	fmt.Println()
 
 	// The paper's rules of thumb: the lock-side spin must comfortably
 	// exceed the sleep latency (spinning less than ≈4000 cycles makes
@@ -34,12 +35,35 @@ func main() {
 	// worst-case line transfer.
 	spinLock := roundUp(turnaround, 1000)
 	spinUnlock := roundUp(coherence, 128)
-	fmt.Println("recommended MutexeeOptions:")
-	fmt.Printf("  SpinLock:    %d\n", spinLock)
-	fmt.Printf("  SpinUnlock:  %d\n", spinUnlock)
-	fmt.Printf("  MutexLock:   %d\n", spinLock/32)
-	fmt.Printf("  MutexUnlock: %d\n", spinUnlock/3)
-	fmt.Println("  Pol:         machine.WaitMbar (memory-barrier pausing)")
+
+	t := metrics.NewTable("MUTEXEE platform tuning (simulated Xeon)",
+		"parameter", "cycles")
+	t.AddRow("futex sleep call latency", sleepLat)
+	t.AddRow("futex wake turnaround", turnaround)
+	t.AddRow("max coherence latency", coherence)
+	t.AddRow("SpinLock", spinLock)
+	t.AddRow("SpinUnlock", spinUnlock)
+	t.AddRow("MutexLock", spinLock/32)
+	t.AddRow("MutexUnlock", spinUnlock/3)
+	t.AddNote("rows 1-3 are measured; rows 4-7 are the recommended MutexeeOptions")
+	t.AddNote("Pol: machine.WaitMbar (memory-barrier pausing)")
+	fmt.Println(t)
+
+	if *jsonDir != "" {
+		run := &results.Run{
+			Meta: results.Meta{
+				Experiment: "mutexeetune", Seed: *seed, Scale: 1,
+				Version: results.Version(),
+			},
+			Tables: []*metrics.Table{t},
+		}
+		path, err := results.Save(*jsonDir, run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved %s\n", path)
+	}
 }
 
 func roundUp(v sim.Cycles, q sim.Cycles) sim.Cycles { return (v + q - 1) / q * q }

@@ -1,56 +1,96 @@
 // Command powerprof charts the simulated machine's power breakdown
 // (Figure 2 style): total, package, cores and DRAM Watts against the
 // number of active hyper-threads, at either voltage-frequency point.
+//
+// The thread-count sweep runs through internal/sweep: each count is one
+// grid cell on its own seeded machine, fanned out across -workers
+// simulated machines in parallel with byte-identical output for any
+// worker count. -json drops the table into the results store so power
+// profiles diff like any experiment run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"lockin/internal/core"
 	"lockin/internal/machine"
 	"lockin/internal/metrics"
 	"lockin/internal/power"
+	"lockin/internal/results"
+	"lockin/internal/sweep"
 	"lockin/internal/systems"
 	"lockin/internal/workload"
 )
 
 func main() {
 	var (
-		seed = flag.Int64("seed", 42, "simulation RNG seed")
-		vfs  = flag.String("vf", "max", "voltage-frequency point: min or max")
-		step = flag.Int("step", 5, "thread-count step")
-		mode = flag.String("workload", "mem", "workload: mem (memory stress), spin, sleep")
+		seed    = flag.Int64("seed", 42, "simulation RNG seed")
+		vfs     = flag.String("vf", "max", "voltage-frequency point: min or max")
+		step    = flag.Int("step", 5, "thread-count step")
+		max     = flag.Int("max", 40, "largest hyper-thread count to profile")
+		mode    = flag.String("workload", "mem", "workload: mem (memory stress), spin, sleep")
+		workers = flag.Int("workers", 0, "parallel sweep workers (0 = all CPUs, 1 = serial)")
+		jsonDir = flag.String("json", "", "save the table to <dir>/powerprof.json (results store)")
 	)
 	flag.Parse()
 
+	if *step < 1 {
+		fmt.Fprintln(os.Stderr, "powerprof: -step must be ≥ 1")
+		os.Exit(2)
+	}
 	vf := power.VFMax
 	if *vfs == "min" {
 		vf = power.VFMin
 	}
+
 	t := metrics.NewTable(fmt.Sprintf("power breakdown — %s workload, %s", *mode, vf),
 		"hyper-threads", "total(W)", "package(W)", "cores(W)", "DRAM(W)")
-	for n := 0; n <= 40; n += *step {
-		var p power.Breakdown
-		if n == 0 {
-			m := machine.NewDefault(*seed)
-			e0 := m.Meter.Energy()
-			m.K.Run(2_000_000)
-			p = m.Meter.Energy().Sub(e0).Power(m.K.Now(), m.Config().Power.BaseFreqGHz)
-		} else {
-			var d systems.Definition
-			switch *mode {
-			case "spin":
-				d = systems.WaitingStress(n, machine.WaitMbar, 2_300_000)
-			case "sleep":
-				d = systems.SleepingStress(n)
-			default:
-				d = systems.MemoryStress(n, vf)
-			}
-			r := d.Run(machine.DefaultConfig(*seed), workload.FactoryFor(core.KindMutex), 300_000, 2_000_000)
-			p = r.Power()
-		}
-		t.AddRow(n, p.Total, p.Package, p.Cores, p.DRAM)
+	g := sweep.NewGrid(sweep.Options{Workers: *workers, Seed: *seed})
+	for n := 0; n <= *max; n += *step {
+		n := n
+		g.Add(func(c sweep.Cell) []sweep.Row {
+			p := profile(c.Seed, n, *mode, vf)
+			return []sweep.Row{{n, p.Total, p.Package, p.Cores, p.DRAM}}
+		})
 	}
+	g.Into(t)
 	fmt.Println(t)
+
+	if *jsonDir != "" {
+		run := &results.Run{
+			Meta: results.Meta{
+				Experiment: "powerprof", Seed: *seed, Scale: 1,
+				Workers: *workers, Version: results.Version(),
+			},
+			Tables: []*metrics.Table{t},
+		}
+		path, err := results.Save(*jsonDir, run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved %s\n", path)
+	}
+}
+
+// profile measures one cell: the power breakdown of n active
+// hyper-threads under the chosen stressor (n = 0 is the shared idle
+// baseline, systems.IdlePower).
+func profile(seed int64, n int, mode string, vf power.VF) power.Breakdown {
+	mc := machine.DefaultConfig(seed)
+	if n == 0 {
+		return systems.IdlePower(mc, 2_000_000)
+	}
+	var d systems.Definition
+	switch mode {
+	case "spin":
+		d = systems.WaitingStress(n, machine.WaitMbar, 2_300_000)
+	case "sleep":
+		d = systems.SleepingStress(n)
+	default:
+		d = systems.MemoryStress(n, vf)
+	}
+	return d.Run(mc, workload.FactoryFor(core.KindMutex), 300_000, 2_000_000).Power()
 }

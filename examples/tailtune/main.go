@@ -2,6 +2,11 @@
 // throughput for bounded tail latency (§5.1 / Figure 10): it sweeps the
 // timeout on a contended lock and prints throughput, TPP and the maximum
 // acquire latency, so the knee of the trade-off is visible.
+//
+// The full timeout × threads percentile grid behind this walkthrough is
+// a registered experiment: `lockbench -experiment fig10_tail` runs it
+// through the parallel sweep engine and can store/diff it like any
+// paper table.
 package main
 
 import (

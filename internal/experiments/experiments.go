@@ -31,6 +31,13 @@ type Options struct {
 	// Workers caps the number of grid cells simulated concurrently
 	// (0 = GOMAXPROCS, 1 = serial). Results are identical either way.
 	Workers int
+	// ShardIndex/ShardCount split an experiment's grid across
+	// processes (see sweep.Options): only this shard's contiguous slice
+	// of cells simulates, and the surviving cells keep their
+	// index-derived seeds, so concatenating every shard's table rows
+	// (results.Merge) is byte-identical to an unsharded run.
+	ShardIndex int
+	ShardCount int
 	// Progress, when non-nil, receives per-experiment sweep progress.
 	Progress func(done, total int)
 }
@@ -48,11 +55,13 @@ func (o Options) dur(base sim.Cycles) sim.Cycles {
 // sweep lowers the experiment options onto the grid engine.
 func (o Options) sweep() sweep.Options {
 	return sweep.Options{
-		Workers:  o.Workers,
-		Seed:     o.Seed,
-		Scale:    o.Scale,
-		Quick:    o.Quick,
-		Progress: o.Progress,
+		Workers:    o.Workers,
+		Seed:       o.Seed,
+		Scale:      o.Scale,
+		Quick:      o.Quick,
+		ShardIndex: o.ShardIndex,
+		ShardCount: o.ShardCount,
+		Progress:   o.Progress,
 	}
 }
 
@@ -71,6 +80,13 @@ type Experiment struct {
 	Title string
 	// Paper summarizes what the paper reports, for side-by-side reading.
 	Paper string
+	// Aggregate marks experiments whose tables are post-processed
+	// across all grid cells (correlations, per-configuration
+	// normalization, averages) instead of one row per cell. A sharded
+	// run of an aggregate reports the statistics of its own cell
+	// subset — valid on its own, but shards must NOT be merged
+	// row-wise into a full run (fig12-fig15).
+	Aggregate bool
 	// Run executes the experiment and returns its rendered tables.
 	Run func(o Options) []*metrics.Table
 }

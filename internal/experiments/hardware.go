@@ -76,10 +76,7 @@ func init() {
 						}
 						var p power.Breakdown
 						if n == 0 {
-							m := machine.New(mc)
-							e0 := m.Meter.Energy()
-							m.K.Run(o.dur(2_000_000))
-							p = m.Meter.Energy().Sub(e0).Power(m.K.Now(), m.Config().Power.BaseFreqGHz)
+							p = systems.IdlePower(mc, o.dur(2_000_000))
 						} else {
 							r := systems.MemoryStress(n, vf).Run(mc, workload.FactoryFor(core.KindMutex),
 								o.dur(300_000), o.dur(2_000_000))

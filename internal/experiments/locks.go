@@ -27,6 +27,21 @@ func microCfg(o Options, seed int64, f workload.LockFactory, threads int, cs sim
 	return cfg
 }
 
+// mutexeeTimeoutFactory builds MUTEXEE with the given futex timeout;
+// 0 is the timeout-free default. Shared by every timeout experiment
+// (fig10, fig10_tail, tbl_timeout) so they all measure the same lock
+// configuration.
+func mutexeeTimeoutFactory(to sim.Cycles) workload.LockFactory {
+	if to <= 0 {
+		return workload.FactoryFor(core.KindMutexee)
+	}
+	return func(m *machine.Machine) core.Lock {
+		opts := core.DefaultMutexeeOptions()
+		opts.Timeout = to
+		return core.NewMutexee(m, opts)
+	}
+}
+
 // evalKinds are the six algorithms of Figure 11 / Table 2.
 var evalKinds = []core.Kind{
 	core.KindMutex, core.KindTAS, core.KindTTAS,
@@ -157,45 +172,28 @@ func init() {
 				threads = []int{20}
 				timeouts = []sim.Cycles{22_400, 22_400_000}
 			}
-			// Cell grid: per thread count, one timeout-free baseline cell
-			// followed by one cell per timeout setting.
-			type spec struct {
-				n       int
-				timeout sim.Cycles // 0 = baseline (no timeout)
-			}
-			var cells []spec
+			// One cell per (threads, timeout) pair. Each cell runs its own
+			// timeout-free baseline on the same cell seed (the fig8
+			// pattern), so every table row depends on exactly one cell and
+			// the grid shards cleanly: the union of shard runs is
+			// byte-identical to an unsharded run.
+			g := o.grid()
 			for _, n := range threads {
-				cells = append(cells, spec{n, 0})
 				for _, to := range timeouts {
-					cells = append(cells, spec{n, to})
+					n, to := n, to
+					g.Add(func(c sweep.Cell) []sweep.Row {
+						run := func(timeout sim.Cycles) workload.Result {
+							cfg := microCfg(o, c.Seed, mutexeeTimeoutFactory(timeout), n, 2000, 1)
+							cfg.Outside = 500 // tight loop: sleepers starve without timeouts
+							return workload.RunMicro(cfg)
+						}
+						base, r := run(0), run(to)
+						return []sweep.Row{{n, uint64(to),
+							ratio(base.Throughput(), r.Throughput()), ratio(base.TPP(), r.TPP())}}
+					})
 				}
 			}
-			type meas struct{ thr, tpp float64 }
-			results := sweep.Run(o.sweep(), len(cells), func(c sweep.Cell) meas {
-				s := cells[c.Index]
-				f := workload.FactoryFor(core.KindMutexee)
-				if s.timeout > 0 {
-					to := s.timeout
-					f = func(m *machine.Machine) core.Lock {
-						opts := core.DefaultMutexeeOptions()
-						opts.Timeout = to
-						return core.NewMutexee(m, opts)
-					}
-				}
-				cfg := microCfg(o, c.Seed, f, s.n, 2000, 1)
-				cfg.Outside = 500 // tight loop: sleepers starve without timeouts
-				r := workload.RunMicro(cfg)
-				return meas{r.Throughput(), r.TPP()}
-			})
-			var base meas
-			for i, s := range cells {
-				if s.timeout == 0 {
-					base = results[i]
-					continue
-				}
-				t.AddRow(s.n, uint64(s.timeout),
-					ratio(base.thr, results[i].thr), ratio(base.tpp, results[i].tpp))
-			}
+			g.Into(t)
 			t.AddNote("timeouts in cycles at 2.8 GHz: 22.4K ≈ 8 µs, 22.4M ≈ 8 ms, 89.6M ≈ 32 ms")
 			return []*metrics.Table{t}
 		},
@@ -214,11 +212,8 @@ func init() {
 			}{
 				{"MUTEX", workload.FactoryFor(core.KindMutex)},
 				{"MUTEXEE", workload.FactoryFor(core.KindMutexee)},
-				{"MUTEXEE timeout", func(m *machine.Machine) core.Lock {
-					opts := core.DefaultMutexeeOptions()
-					opts.Timeout = 2_800_000 // ≈1 ms (scaled to the shortened window)
-					return core.NewMutexee(m, opts)
-				}},
+				// ≈1 ms timeout (scaled to the shortened window).
+				{"MUTEXEE timeout", mutexeeTimeoutFactory(2_800_000)},
 			}
 			g := o.grid()
 			for _, v := range variants {
@@ -238,10 +233,11 @@ func init() {
 	})
 
 	register(Experiment{
-		ID:    "fig12",
-		Title: "Correlation of throughput with TPP across contention levels",
-		Paper: "≈85% of 2084 configurations: the best-throughput lock is also the best-TPP lock; near-linear correlation overall",
-		Run:   runFig12,
+		ID:        "fig12",
+		Aggregate: true,
+		Title:     "Correlation of throughput with TPP across contention levels",
+		Paper:     "≈85% of 2084 configurations: the best-throughput lock is also the best-TPP lock; near-linear correlation overall",
+		Run:       runFig12,
 	})
 }
 
@@ -280,7 +276,8 @@ func runFig12(o Options) []*metrics.Table {
 		}
 	}
 	type pair struct{ thr, tpp float64 }
-	results := sweep.Run(o.sweep(), len(cells), func(c sweep.Cell) []pair {
+	so := o.sweep()
+	results := sweep.Run(so, len(cells), func(c sweep.Cell) []pair {
 		cfg := cells[c.Index]
 		out := make([]pair, len(evalKinds))
 		for i, k := range evalKinds {
@@ -295,7 +292,14 @@ func runFig12(o Options) []*metrics.Table {
 	var thrs, tpps []float64
 	agree, total := 0, 0
 	var mutexeeThr, mutexThr, mutexeeTPP, mutexTPP float64
-	for _, runs := range results {
+	for ci, runs := range results {
+		// Under sharding the slice has zero-value holes for the cells
+		// other shards own; fig12 is an aggregate (a correlation over
+		// configurations), so a shard reports the statistics of its own
+		// configuration subset rather than garbage rows.
+		if !so.InShard(ci, len(cells)) {
+			continue
+		}
 		bestThr, bestTPP := -1, -1
 		var bestThrV, bestTPPV float64
 		for i, k := range evalKinds {

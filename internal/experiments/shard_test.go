@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"testing"
+
+	"lockin/internal/results"
+)
+
+// shardedRun executes one experiment as a results.Run under the given
+// shard options.
+func shardedRun(t *testing.T, id string, o Options) *results.Run {
+	t.Helper()
+	e, err := Find(id)
+	if err != nil {
+		t.Fatalf("find %s: %v", id, err)
+	}
+	return &results.Run{
+		Meta: results.Meta{
+			Experiment: id, Seed: o.Seed, Scale: o.Scale, Quick: o.Quick,
+			ShardIndex: o.ShardIndex, ShardCount: o.ShardCount, Version: "test",
+		},
+		Tables: e.Run(o),
+	}
+}
+
+// TestShardUnionMatchesUnsharded is the acceptance test of multi-process
+// sharding on real experiments: merging the shard runs of a grid must
+// reproduce the unsharded tables byte-for-byte (cells are skipped, not
+// re-seeded). fig10 covers the baseline-inside-cell grid, tbl2 the
+// plain one-row-per-cell grid, fig10_tail the percentile grid.
+func TestShardUnionMatchesUnsharded(t *testing.T) {
+	for _, id := range []string{"fig10", "tbl2", "fig10_tail"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			o := Options{Seed: 42, Scale: 0.25, Quick: true, Workers: 4}
+			full := shardedRun(t, id, o)
+
+			var shards []*results.Run
+			for s := 0; s < 2; s++ {
+				so := o
+				so.ShardIndex, so.ShardCount = s, 2
+				shards = append(shards, shardedRun(t, id, so))
+			}
+			merged, err := results.Merge(shards[0], shards[1])
+			if err != nil {
+				t.Fatalf("merge: %v", err)
+			}
+			if len(merged.Tables) != len(full.Tables) {
+				t.Fatalf("merged %d tables, want %d", len(merged.Tables), len(full.Tables))
+			}
+			for i := range full.Tables {
+				if got, want := merged.Tables[i].String(), full.Tables[i].String(); got != want {
+					t.Fatalf("%s table %d: merged shards differ from unsharded run:\n--- merged ---\n%s--- unsharded ---\n%s",
+						id, i, got, want)
+				}
+			}
+			if rep := results.Diff(full, merged, results.Tolerance{}); !rep.Empty() {
+				t.Fatalf("%s: structural diff of merged vs unsharded:\n%s", id, rep)
+			}
+		})
+	}
+}
+
+// TestShardRowCounts sanity-checks that each shard simulates only its
+// own slice: together the shards produce exactly the unsharded row
+// count, and no shard produces all of it.
+func TestShardRowCounts(t *testing.T) {
+	o := Options{Seed: 42, Scale: 0.25, Quick: true, Workers: 2}
+	full := shardedRun(t, "fig10", o).Tables[0].NumRows()
+	sum := 0
+	for s := 0; s < 2; s++ {
+		so := o
+		so.ShardIndex, so.ShardCount = s, 2
+		n := shardedRun(t, "fig10", so).Tables[0].NumRows()
+		if n == 0 || n == full {
+			t.Fatalf("shard %d produced %d of %d rows; sharding not splitting the grid", s, n, full)
+		}
+		sum += n
+	}
+	if sum != full {
+		t.Fatalf("shards produced %d rows total, want %d", sum, full)
+	}
+}
+
+// TestFig10TailTradeoff pins the semantics of the registered tail grid:
+// a tight timeout caps the maximum acquire latency well below the
+// timeout-free run and costs throughput.
+func TestFig10TailTradeoff(t *testing.T) {
+	e, err := Find("fig10_tail")
+	if err != nil {
+		t.Fatalf("fig10_tail not registered: %v", err)
+	}
+	rows := e.Run(quickOpts())[0].Rows()
+	get := func(timeout string, col int) float64 {
+		return cell(t, rows, func(r []string) bool { return r[0] == "20" && r[1] == timeout }, col)
+	}
+	noTO, shortTO := get("0", 6), get("22400", 6)
+	if shortTO >= noTO {
+		t.Fatalf("8 µs timeout max latency %.2f Mcyc should undercut timeout-free %.2f", shortTO, noTO)
+	}
+	thrFree, thrShort := get("0", 2), get("22400", 2)
+	if thrFree <= thrShort {
+		t.Fatalf("timeout-free throughput %.0f should exceed 8 µs-timeout %.0f", thrFree, thrShort)
+	}
+	// The tail metric is a real percentile: p95 ≤ p99.99 ≤ max.
+	p95, p9999 := get("0", 4), get("0", 5)
+	if p95 > p9999 || p9999/1e3 > noTO {
+		t.Fatalf("percentiles not ordered: p95 %.1fK p99.99 %.1fK max %.2fM", p95, p9999, noTO)
+	}
+}

@@ -92,9 +92,10 @@ func normTable(title string, results []sysResult, metric func(systems.Result) fl
 
 func init() {
 	register(Experiment{
-		ID:    "fig13",
-		Title: "Normalized throughput of the six systems with different locks",
-		Paper: "avg: TICKET 1.06x, MUTEXEE 1.26x over MUTEX; TICKET collapses on MySQL (0.01-0.16x) and SQLite 64 CON (0.25x)",
+		ID:        "fig13",
+		Aggregate: true,
+		Title:     "Normalized throughput of the six systems with different locks",
+		Paper:     "avg: TICKET 1.06x, MUTEXEE 1.26x over MUTEX; TICKET collapses on MySQL (0.01-0.16x) and SQLite 64 CON (0.25x)",
 		Run: func(o Options) []*metrics.Table {
 			rs := runSystems(o, defsFor(o))
 			return []*metrics.Table{normTable("Figure 13 — normalized throughput (higher is better)",
@@ -103,9 +104,10 @@ func init() {
 	})
 
 	register(Experiment{
-		ID:    "fig14",
-		Title: "Normalized energy efficiency (TPP) of the six systems",
-		Paper: "avg: TICKET 1.05x, MUTEXEE 1.28x over MUTEX; improvements driven by throughput",
+		ID:        "fig14",
+		Aggregate: true,
+		Title:     "Normalized energy efficiency (TPP) of the six systems",
+		Paper:     "avg: TICKET 1.05x, MUTEXEE 1.28x over MUTEX; improvements driven by throughput",
 		Run: func(o Options) []*metrics.Table {
 			rs := runSystems(o, defsFor(o))
 			return []*metrics.Table{normTable("Figure 14 — normalized TPP (higher is better)",
@@ -114,9 +116,10 @@ func init() {
 	})
 
 	register(Experiment{
-		ID:    "fig15",
-		Title: "Normalized 99th-percentile latency of four systems",
-		Paper: "mostly better throughput → lower tail; HamsterDB RD: MUTEXEE ≈19x tail of MUTEX; TICKET terrible when oversubscribed",
+		ID:        "fig15",
+		Aggregate: true,
+		Title:     "Normalized 99th-percentile latency of four systems",
+		Paper:     "mostly better throughput → lower tail; HamsterDB RD: MUTEXEE ≈19x tail of MUTEX; TICKET terrible when oversubscribed",
 		Run: func(o Options) []*metrics.Table {
 			defs := fig15Defs(o)
 			rs := runSystems(o, defs)

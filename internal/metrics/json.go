@@ -1,0 +1,64 @@
+package metrics
+
+import "encoding/json"
+
+// tableJSON is the wire form of a Table: the full
+// {title, header, rows, notes} structure with typed cells.
+type tableJSON struct {
+	Title  string    `json:"title"`
+	Header []string  `json:"header"`
+	Rows   [][]Value `json:"rows"`
+	Notes  []string  `json:"notes,omitempty"`
+}
+
+// MarshalJSON encodes the table losslessly: the typed payload of every
+// cell plus its rendered text, so a decoded table is structurally equal
+// to the original and String() prints the same bytes.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tableJSON{
+		Title:  t.Title,
+		Header: t.Header,
+		Rows:   t.cells,
+		Notes:  t.Notes,
+	})
+}
+
+// UnmarshalJSON decodes a table written by MarshalJSON.
+func (t *Table) UnmarshalJSON(b []byte) error {
+	var w tableJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*t = Table{Title: w.Title, Header: w.Header, cells: w.Rows, Notes: w.Notes}
+	return nil
+}
+
+// EqualTable reports whether two tables are structurally identical:
+// same title, header, notes, and cell-for-cell Value equality.
+func EqualTable(a, b *Table) bool {
+	if a.Title != b.Title || len(a.Header) != len(b.Header) ||
+		len(a.Notes) != len(b.Notes) || len(a.cells) != len(b.cells) {
+		return false
+	}
+	for i := range a.Header {
+		if a.Header[i] != b.Header[i] {
+			return false
+		}
+	}
+	for i := range a.Notes {
+		if a.Notes[i] != b.Notes[i] {
+			return false
+		}
+	}
+	for i := range a.cells {
+		if len(a.cells[i]) != len(b.cells[i]) {
+			return false
+		}
+		for j := range a.cells[i] {
+			if !a.cells[i][j].Equal(b.cells[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -103,11 +103,14 @@ func Normalize(xs []float64) []float64 {
 	return out
 }
 
-// Table renders aligned text tables for experiment output.
+// Table renders aligned text tables for experiment output. Cells are
+// typed (Value) so downstream consumers — the results store, baseline
+// diffing, regression gates — can compare the measured quantities
+// instead of parsing the rendered strings.
 type Table struct {
 	Title  string
 	Header []string
-	rows   [][]string
+	cells  [][]Value
 	Notes  []string
 }
 
@@ -117,21 +120,18 @@ func NewTable(title string, header ...string) *Table {
 }
 
 // AddRow appends a row; values are formatted with %v, floats with 4
-// significant digits.
+// significant digits. Each argument is retained as a typed Value
+// alongside its rendering (see ValueOf).
 func (t *Table) AddRow(cells ...any) {
-	row := make([]string, len(cells))
+	row := make([]Value, len(cells))
 	for i, c := range cells {
-		switch v := c.(type) {
-		case float64:
-			row[i] = formatFloat(v)
-		case float32:
-			row[i] = formatFloat(float64(v))
-		default:
-			row[i] = fmt.Sprintf("%v", c)
-		}
+		row[i] = ValueOf(c)
 	}
-	t.rows = append(t.rows, row)
+	t.cells = append(t.cells, row)
 }
+
+// AddValues appends a row of already-typed cells.
+func (t *Table) AddValues(row []Value) { t.cells = append(t.cells, row) }
 
 // AddNote appends a free-text footnote.
 func (t *Table) AddNote(format string, args ...any) {
@@ -139,10 +139,23 @@ func (t *Table) AddNote(format string, args ...any) {
 }
 
 // NumRows returns the number of data rows.
-func (t *Table) NumRows() int { return len(t.rows) }
+func (t *Table) NumRows() int { return len(t.cells) }
 
 // Rows returns the rendered cells (for tests).
-func (t *Table) Rows() [][]string { return t.rows }
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.cells))
+	for i, row := range t.cells {
+		r := make([]string, len(row))
+		for j, c := range row {
+			r[j] = c.Text()
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// Cells returns the typed rows.
+func (t *Table) Cells() [][]Value { return t.cells }
 
 func formatFloat(v float64) string {
 	switch {
@@ -167,10 +180,10 @@ func (t *Table) String() string {
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
-	for _, r := range t.rows {
+	for _, r := range t.cells {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
+			if i < len(widths) && len(c.Text()) > widths[i] {
+				widths[i] = len(c.Text())
 			}
 		}
 	}
@@ -193,8 +206,12 @@ func (t *Table) String() string {
 		sep[i] = strings.Repeat("-", widths[i])
 	}
 	writeRow(sep)
-	for _, r := range t.rows {
-		writeRow(r)
+	for _, r := range t.cells {
+		row := make([]string, len(r))
+		for i, c := range r {
+			row[i] = c.Text()
+		}
+		writeRow(row)
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "# %s\n", n)

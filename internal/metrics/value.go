@@ -1,0 +1,252 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+
+	"lockin/internal/sim"
+)
+
+// ValueKind discriminates the typed payload of a table cell.
+type ValueKind uint8
+
+const (
+	// ValueString is free text (lock names, series labels).
+	ValueString ValueKind = iota
+	// ValueInt is a signed count (thread counts, row totals).
+	ValueInt
+	// ValueUint is an unsigned count.
+	ValueUint
+	// ValueFloat is a measured quantity (throughput, Watts, ratios).
+	ValueFloat
+	// ValueCycles is a virtual-time duration in simulator cycles.
+	ValueCycles
+)
+
+var kindNames = map[ValueKind]string{
+	ValueString: "string",
+	ValueInt:    "int",
+	ValueUint:   "uint",
+	ValueFloat:  "float",
+	ValueCycles: "cycles",
+}
+
+var kindByName = func() map[string]ValueKind {
+	m := make(map[string]ValueKind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+func (k ValueKind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("ValueKind(%d)", uint8(k))
+}
+
+// Value is one typed table cell: the exact quantity an experiment
+// measured plus the string it renders as. Downstream consumers (the
+// results store, run diffing, regression gates) compare the typed
+// payload; the rendered text keeps Table.String() byte-stable.
+type Value struct {
+	Kind   ValueKind
+	Int    int64      // ValueInt
+	Uint   uint64     // ValueUint
+	Float  float64    // ValueFloat
+	Cycles sim.Cycles // ValueCycles
+	Str    string     // ValueString
+
+	// text is the rendered cell, always set.
+	text string
+}
+
+// ValueOf converts an AddRow argument into a typed cell. The rendering
+// rules are the historical ones (floats via formatFloat, everything
+// else via %v), so tables render byte-identically to the stringly era.
+func ValueOf(c any) Value {
+	switch v := c.(type) {
+	case Value:
+		return v
+	case float64:
+		return FloatValue(v)
+	case float32:
+		return FloatValue(float64(v))
+	case sim.Cycles:
+		return CyclesValue(v)
+	case int:
+		return IntValue(int64(v))
+	case int64:
+		return IntValue(v)
+	case int32:
+		return IntValue(int64(v))
+	case int16:
+		return IntValue(int64(v))
+	case int8:
+		return IntValue(int64(v))
+	case uint64:
+		return UintValue(v)
+	case uint:
+		return UintValue(uint64(v))
+	case uint32:
+		return UintValue(uint64(v))
+	case uint16:
+		return UintValue(uint64(v))
+	case uint8:
+		return UintValue(uint64(v))
+	case string:
+		return StringValue(v)
+	default:
+		return StringValue(fmt.Sprintf("%v", c))
+	}
+}
+
+// StringValue builds a free-text cell.
+func StringValue(s string) Value { return Value{Kind: ValueString, Str: s, text: s} }
+
+// IntValue builds a signed-count cell.
+func IntValue(v int64) Value {
+	return Value{Kind: ValueInt, Int: v, text: strconv.FormatInt(v, 10)}
+}
+
+// UintValue builds an unsigned-count cell.
+func UintValue(v uint64) Value {
+	return Value{Kind: ValueUint, Uint: v, text: strconv.FormatUint(v, 10)}
+}
+
+// FloatValue builds a measured-quantity cell.
+func FloatValue(v float64) Value {
+	return Value{Kind: ValueFloat, Float: v, text: formatFloat(v)}
+}
+
+// CyclesValue builds a virtual-duration cell.
+func CyclesValue(v sim.Cycles) Value {
+	return Value{Kind: ValueCycles, Cycles: v, text: strconv.FormatUint(uint64(v), 10)}
+}
+
+// Text returns the rendered cell exactly as Table.String() prints it.
+func (v Value) Text() string { return v.text }
+
+// Num returns the cell as a float64 for tolerance-based comparison and
+// whether the cell is numeric at all.
+func (v Value) Num() (float64, bool) {
+	switch v.Kind {
+	case ValueInt:
+		return float64(v.Int), true
+	case ValueUint:
+		return float64(v.Uint), true
+	case ValueFloat:
+		return v.Float, true
+	case ValueCycles:
+		return float64(v.Cycles), true
+	default:
+		return 0, false
+	}
+}
+
+// valueJSON is the wire form of a Value. Payload fields are pointers so
+// zero values survive the round trip; non-finite floats ride in Text
+// with NaN set (JSON has no literal for them).
+type valueJSON struct {
+	Kind   string      `json:"kind"`
+	Int    *int64      `json:"int,omitempty"`
+	Uint   *uint64     `json:"uint,omitempty"`
+	Float  *float64    `json:"float,omitempty"`
+	NonFin string      `json:"nonfinite,omitempty"`
+	Cycles *sim.Cycles `json:"cycles,omitempty"`
+	Str    *string     `json:"str,omitempty"`
+	Text   string      `json:"text"`
+}
+
+// MarshalJSON encodes the typed payload and rendered text losslessly:
+// unmarshalling the output reproduces the Value exactly, including the
+// bytes Table.String() prints.
+func (v Value) MarshalJSON() ([]byte, error) {
+	w := valueJSON{Kind: v.Kind.String(), Text: v.text}
+	switch v.Kind {
+	case ValueInt:
+		w.Int = &v.Int
+	case ValueUint:
+		w.Uint = &v.Uint
+	case ValueFloat:
+		if math.IsNaN(v.Float) || math.IsInf(v.Float, 0) {
+			w.NonFin = strconv.FormatFloat(v.Float, 'g', -1, 64)
+		} else {
+			w.Float = &v.Float
+		}
+	case ValueCycles:
+		w.Cycles = &v.Cycles
+	case ValueString:
+		w.Str = &v.Str
+	default:
+		return nil, fmt.Errorf("metrics: cannot marshal %v cell", v.Kind)
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes a cell written by MarshalJSON.
+func (v *Value) UnmarshalJSON(b []byte) error {
+	var w valueJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	k, ok := kindByName[w.Kind]
+	if !ok {
+		return fmt.Errorf("metrics: unknown cell kind %q", w.Kind)
+	}
+	*v = Value{Kind: k, text: w.Text}
+	switch k {
+	case ValueInt:
+		if w.Int == nil {
+			return fmt.Errorf("metrics: int cell without payload")
+		}
+		v.Int = *w.Int
+	case ValueUint:
+		if w.Uint == nil {
+			return fmt.Errorf("metrics: uint cell without payload")
+		}
+		v.Uint = *w.Uint
+	case ValueFloat:
+		switch {
+		case w.NonFin != "":
+			f, err := strconv.ParseFloat(w.NonFin, 64)
+			if err != nil {
+				return fmt.Errorf("metrics: bad non-finite float cell %q", w.NonFin)
+			}
+			v.Float = f
+		case w.Float != nil:
+			v.Float = *w.Float
+		default:
+			return fmt.Errorf("metrics: float cell without payload")
+		}
+	case ValueCycles:
+		if w.Cycles == nil {
+			return fmt.Errorf("metrics: cycles cell without payload")
+		}
+		v.Cycles = *w.Cycles
+	case ValueString:
+		if w.Str == nil {
+			return fmt.Errorf("metrics: string cell without payload")
+		}
+		v.Str = *w.Str
+	}
+	return nil
+}
+
+// Equal reports whether two cells carry the same typed payload and
+// render to the same text. NaN floats compare equal to themselves so a
+// stored run diffs clean against its own reload.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind || v.text != o.text {
+		return false
+	}
+	switch v.Kind {
+	case ValueFloat:
+		return v.Float == o.Float || (math.IsNaN(v.Float) && math.IsNaN(o.Float))
+	default:
+		return v == o
+	}
+}

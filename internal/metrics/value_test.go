@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"lockin/internal/sim"
+)
+
+func TestValueOfKindsAndRendering(t *testing.T) {
+	cases := []struct {
+		in   any
+		kind ValueKind
+		text string
+	}{
+		{"MUTEX", ValueString, "MUTEX"},
+		{42, ValueInt, "42"},
+		{int64(-7), ValueInt, "-7"},
+		{uint64(18446744073709551615), ValueUint, "18446744073709551615"},
+		{sim.Cycles(22_400), ValueCycles, "22400"},
+		{3.14159, ValueFloat, "3.142"},
+		{float64(0), ValueFloat, "0"},
+		{123456.0, ValueFloat, "1.23e+05"},
+		{float32(2), ValueFloat, "2.000"},
+		{true, ValueString, "true"}, // fallback path: %v rendering
+	}
+	for _, c := range cases {
+		v := ValueOf(c.in)
+		if v.Kind != c.kind || v.Text() != c.text {
+			t.Fatalf("ValueOf(%v) = kind %v text %q, want kind %v text %q",
+				c.in, v.Kind, v.Text(), c.kind, c.text)
+		}
+	}
+	// ValueOf of a Value is the identity.
+	v := FloatValue(1.5)
+	if got := ValueOf(v); !got.Equal(v) {
+		t.Fatalf("ValueOf(Value) changed the cell: %+v vs %+v", got, v)
+	}
+}
+
+func TestValueNum(t *testing.T) {
+	if f, ok := IntValue(-3).Num(); !ok || f != -3 {
+		t.Fatalf("int Num = %v,%v", f, ok)
+	}
+	if f, ok := UintValue(8).Num(); !ok || f != 8 {
+		t.Fatalf("uint Num = %v,%v", f, ok)
+	}
+	if f, ok := CyclesValue(1000).Num(); !ok || f != 1000 {
+		t.Fatalf("cycles Num = %v,%v", f, ok)
+	}
+	if f, ok := FloatValue(2.5).Num(); !ok || f != 2.5 {
+		t.Fatalf("float Num = %v,%v", f, ok)
+	}
+	if _, ok := StringValue("x").Num(); ok {
+		t.Fatal("string cell claims to be numeric")
+	}
+}
+
+func TestValueJSONRoundTrip(t *testing.T) {
+	vals := []Value{
+		StringValue(""),
+		StringValue("MUTEXEE timeout"),
+		IntValue(0),
+		IntValue(math.MinInt64),
+		UintValue(0),
+		UintValue(math.MaxUint64),
+		CyclesValue(sim.Cycles(89_600_000)),
+		FloatValue(0),
+		FloatValue(1.0 / 3.0), // needs exact float round-trip
+		FloatValue(6.62607015e-34),
+		FloatValue(math.Inf(1)),
+		FloatValue(math.NaN()),
+	}
+	for _, v := range vals {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", v, err)
+		}
+		var got Value
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if !got.Equal(v) {
+			t.Fatalf("round trip changed cell: %+v -> %s -> %+v", v, b, got)
+		}
+	}
+}
+
+func TestValueUnmarshalRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		`{"kind":"volts","text":"1"}`,
+		`{"kind":"int","text":"1"}`,
+		`{"kind":"float","text":"x"}`,
+		`{"kind":"string","text":"x"}`,
+	} {
+		var v Value
+		if err := json.Unmarshal([]byte(bad), &v); err == nil {
+			t.Fatalf("accepted %s", bad)
+		}
+	}
+}
+
+// TestTableJSONRoundTrip is the lossless-serialization contract of the
+// results layer: encode → decode must preserve the typed cells, the
+// notes, and the exact String() bytes.
+func TestTableJSONRoundTrip(t *testing.T) {
+	tb := NewTable("Figure X — demo", "threads", "lock", "thr(M/s)", "timeout")
+	tb.AddRow(20, "MUTEX", 3.14159, sim.Cycles(22_400))
+	tb.AddRow(40, "MUTEXEE", 123456.0, sim.Cycles(0))
+	tb.AddRow(60, "TAS", 0.0, uint64(7))
+	tb.AddNote("seed %d", 42)
+	tb.AddNote("quick grid")
+
+	b, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got := &Table{}
+	if err := json.Unmarshal(b, got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !EqualTable(tb, got) {
+		t.Fatalf("decoded table differs structurally:\n%+v\nvs\n%+v", tb, got)
+	}
+	if got.String() != tb.String() {
+		t.Fatalf("decoded rendering differs:\n%s\nvs\n%s", got.String(), tb.String())
+	}
+	// Typed payloads survive: the cycles cell is still cycles-typed.
+	if c := got.Cells()[0][3]; c.Kind != ValueCycles || c.Cycles != 22_400 {
+		t.Fatalf("cycles cell lost its type: %+v", c)
+	}
+	// A second encode is byte-stable (map-free wire format).
+	b2, err := json.Marshal(got)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if string(b) != string(b2) {
+		t.Fatalf("encoding not stable:\n%s\nvs\n%s", b, b2)
+	}
+}
+
+func TestTableJSONEmpty(t *testing.T) {
+	tb := NewTable("empty", "a", "b")
+	b, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got := &Table{}
+	if err := json.Unmarshal(b, got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.String() != tb.String() {
+		t.Fatalf("empty table rendering differs:\n%q vs %q", got.String(), tb.String())
+	}
+}
+
+func TestAddValuesMatchesAddRow(t *testing.T) {
+	a := NewTable("t", "x", "y")
+	a.AddRow(1, 2.5)
+	b := NewTable("t", "x", "y")
+	b.AddValues([]Value{IntValue(1), FloatValue(2.5)})
+	if !EqualTable(a, b) || a.String() != b.String() {
+		t.Fatalf("AddValues diverged from AddRow:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -1,0 +1,229 @@
+package results
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"lockin/internal/metrics"
+)
+
+// Tolerance bounds how far a numeric cell may drift from the baseline
+// before Diff reports it. Tolerances are relative: |new-old| ≤ tol ×
+// max(|old|, |new|). The zero value demands exact equality, which a
+// deterministic rerun (same seed, scale, quick) must satisfy.
+type Tolerance struct {
+	// Default applies to every numeric column without an override.
+	Default float64
+	// Columns maps a header name (e.g. "TPP(Kacq/J)") to its own
+	// relative tolerance, overriding Default.
+	Columns map[string]float64
+}
+
+// ForColumn resolves the tolerance of one column.
+func (t Tolerance) ForColumn(name string) float64 {
+	if tol, ok := t.Columns[name]; ok {
+		return tol
+	}
+	return t.Default
+}
+
+// CellDiff is one out-of-tolerance cell.
+type CellDiff struct {
+	Table  string
+	Row    int    // 0-based data-row index
+	Column string // header name, or "col<N>" past the header
+	Base   metrics.Value
+	Cur    metrics.Value
+	// RelErr is |cur-base| / max(|base|,|cur|) for numeric cells, NaN
+	// for text mismatches.
+	RelErr float64
+}
+
+// TableDiff collects the differences of one table pair.
+type TableDiff struct {
+	Title       string
+	HeaderDiff  bool
+	NotesDiff   bool
+	RowsAdded   int // rows only in the current run
+	RowsRemoved int // rows only in the baseline
+	Cells       []CellDiff
+}
+
+func (d TableDiff) empty() bool {
+	return !d.HeaderDiff && !d.NotesDiff && d.RowsAdded == 0 && d.RowsRemoved == 0 && len(d.Cells) == 0
+}
+
+// Report is the outcome of diffing two runs.
+type Report struct {
+	// TablesRemoved/TablesAdded hold titles present in only one run.
+	TablesRemoved []string
+	TablesAdded   []string
+	Tables        []TableDiff
+}
+
+// Empty reports whether the two runs matched within tolerance.
+func (r *Report) Empty() bool {
+	return len(r.TablesRemoved) == 0 && len(r.TablesAdded) == 0 && len(r.Tables) == 0
+}
+
+// NumDiffs counts the individual differences in the report.
+func (r *Report) NumDiffs() int {
+	n := len(r.TablesRemoved) + len(r.TablesAdded)
+	for _, t := range r.Tables {
+		n += t.RowsAdded + t.RowsRemoved + len(t.Cells)
+		if t.HeaderDiff {
+			n++
+		}
+		if t.NotesDiff {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders a human-readable difference listing, or "no
+// differences" for an empty report.
+func (r *Report) String() string {
+	if r.Empty() {
+		return "no differences\n"
+	}
+	var b strings.Builder
+	for _, t := range r.TablesRemoved {
+		fmt.Fprintf(&b, "table only in baseline: %s\n", t)
+	}
+	for _, t := range r.TablesAdded {
+		fmt.Fprintf(&b, "table only in current run: %s\n", t)
+	}
+	for _, t := range r.Tables {
+		fmt.Fprintf(&b, "table %q:\n", t.Title)
+		if t.HeaderDiff {
+			fmt.Fprintf(&b, "  header changed\n")
+		}
+		if t.NotesDiff {
+			fmt.Fprintf(&b, "  notes changed\n")
+		}
+		if t.RowsRemoved > 0 {
+			fmt.Fprintf(&b, "  %d row(s) only in baseline\n", t.RowsRemoved)
+		}
+		if t.RowsAdded > 0 {
+			fmt.Fprintf(&b, "  %d row(s) only in current run\n", t.RowsAdded)
+		}
+		for _, c := range t.Cells {
+			if math.IsNaN(c.RelErr) {
+				fmt.Fprintf(&b, "  row %d %s: %q -> %q\n", c.Row, c.Column, c.Base.Text(), c.Cur.Text())
+			} else {
+				fmt.Fprintf(&b, "  row %d %s: %s -> %s (rel err %.3g)\n",
+					c.Row, c.Column, c.Base.Text(), c.Cur.Text(), c.RelErr)
+			}
+		}
+	}
+	return b.String()
+}
+
+// Diff structurally compares the current run against a baseline.
+// Tables pair up by title; rows compare positionally (grids emit rows
+// in a deterministic order); numeric cells compare within the column's
+// relative tolerance, text cells exactly. Rows beyond the common
+// prefix are reported as added/removed rather than compared.
+func Diff(base, cur *Run, tol Tolerance) *Report {
+	rep := &Report{}
+	curByTitle := map[string]*metrics.Table{}
+	for _, t := range cur.Tables {
+		curByTitle[t.Title] = t
+	}
+	baseSeen := map[string]bool{}
+	for _, bt := range base.Tables {
+		baseSeen[bt.Title] = true
+		ct, ok := curByTitle[bt.Title]
+		if !ok {
+			rep.TablesRemoved = append(rep.TablesRemoved, bt.Title)
+			continue
+		}
+		if d := diffTable(bt, ct, tol); !d.empty() {
+			rep.Tables = append(rep.Tables, d)
+		}
+	}
+	for _, ct := range cur.Tables {
+		if !baseSeen[ct.Title] {
+			rep.TablesAdded = append(rep.TablesAdded, ct.Title)
+		}
+	}
+	return rep
+}
+
+func diffTable(base, cur *metrics.Table, tol Tolerance) TableDiff {
+	d := TableDiff{Title: base.Title}
+	d.HeaderDiff = !equalStrings(base.Header, cur.Header)
+	d.NotesDiff = !equalStrings(base.Notes, cur.Notes)
+	brows, crows := base.Cells(), cur.Cells()
+	n := len(brows)
+	if len(crows) < n {
+		n = len(crows)
+	}
+	d.RowsRemoved = len(brows) - n
+	d.RowsAdded = len(crows) - n
+	for i := 0; i < n; i++ {
+		d.Cells = append(d.Cells, diffRow(base, i, brows[i], crows[i], tol)...)
+	}
+	return d
+}
+
+func diffRow(t *metrics.Table, row int, base, cur []metrics.Value, tol Tolerance) []CellDiff {
+	var out []CellDiff
+	n := len(base)
+	if len(cur) > n {
+		n = len(cur)
+	}
+	for j := 0; j < n; j++ {
+		col := fmt.Sprintf("col%d", j)
+		if j < len(t.Header) {
+			col = t.Header[j]
+		}
+		if j >= len(base) || j >= len(cur) {
+			var bv, cv metrics.Value
+			if j < len(base) {
+				bv = base[j]
+			}
+			if j < len(cur) {
+				cv = cur[j]
+			}
+			out = append(out, CellDiff{Table: t.Title, Row: row, Column: col, Base: bv, Cur: cv, RelErr: math.NaN()})
+			continue
+		}
+		bv, cv := base[j], cur[j]
+		bn, bok := bv.Num()
+		cn, cok := cv.Num()
+		if bok && cok {
+			rel := relErr(bn, cn)
+			switch {
+			case rel > tol.ForColumn(col):
+				out = append(out, CellDiff{Table: t.Title, Row: row, Column: col, Base: bv, Cur: cv, RelErr: rel})
+			case bv.Kind != cv.Kind, rel == 0 && !bv.Equal(cv):
+				// A changed column type (e.g. int turned float: "8" ->
+				// "8.000") or a changed rendering of the same value: the
+				// printed table changed, so no numeric tolerance excuses
+				// it, even when the values themselves are within range.
+				out = append(out, CellDiff{Table: t.Title, Row: row, Column: col, Base: bv, Cur: cv, RelErr: math.NaN()})
+			}
+			continue
+		}
+		if !bv.Equal(cv) {
+			out = append(out, CellDiff{Table: t.Title, Row: row, Column: col, Base: bv, Cur: cv, RelErr: math.NaN()})
+		}
+	}
+	return out
+}
+
+// relErr returns |a-b| / max(|a|,|b|): 0 when both are 0 (or equal,
+// including both-NaN), 1 when exactly one is 0.
+func relErr(a, b float64) float64 {
+	if a == b || (math.IsNaN(a) && math.IsNaN(b)) {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 || math.IsNaN(den) || math.IsInf(den, 0) {
+		return math.Inf(1)
+	}
+	return math.Abs(a-b) / den
+}

@@ -1,0 +1,218 @@
+// Package results is the persistent run store of the evaluation: it
+// saves an experiment run — its typed metrics.Tables plus the metadata
+// needed to reproduce it — to a JSON file, loads it back, and
+// structurally diffs two runs with per-column tolerances. It is the
+// machine-readable interface every downstream consumer (CI regression
+// gates, dashboards, paper-scale result caches) builds on: quick CI
+// runs diff against stored full-scale (-scale 1000) baselines without
+// re-simulating them.
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sort"
+	"strings"
+
+	"lockin/internal/metrics"
+)
+
+// Meta records how a run was produced. Together with the simulator's
+// determinism contract it pins the output: the same experiment, seed,
+// scale, quick flag and code version reproduce the same tables for any
+// worker count or sharding.
+type Meta struct {
+	// Experiment is the registry id ("fig11", "tbl2", ...) or a tool
+	// name for non-experiment producers ("mutexeetune", "powerprof").
+	Experiment string  `json:"experiment"`
+	Seed       int64   `json:"seed"`
+	Scale      float64 `json:"scale"`
+	Quick      bool    `json:"quick"`
+	// Workers is informational: results are identical for any value.
+	Workers int `json:"workers"`
+	// ShardIndex/ShardCount are non-zero when the run holds one shard
+	// of a grid (see sweep.Options); Merge reassembles the full run.
+	ShardIndex int `json:"shard_index,omitempty"`
+	ShardCount int `json:"shard_count,omitempty"`
+	// Version is the git-describable build version (see Version).
+	Version string `json:"version"`
+}
+
+// Run is one persisted experiment run.
+type Run struct {
+	Meta   Meta             `json:"meta"`
+	Tables []*metrics.Table `json:"tables"`
+}
+
+// Filename returns the file a run saves to under a store directory.
+func (m Meta) Filename() string {
+	name := m.Experiment
+	if name == "" {
+		name = "run"
+	}
+	if m.ShardCount > 1 {
+		name = fmt.Sprintf("%s.shard%d-of-%d", name, m.ShardIndex, m.ShardCount)
+	}
+	return name + ".json"
+}
+
+// Save writes the run to <dir>/<experiment>.json (creating dir) and
+// returns the path. The encoding is deterministic: saving the same run
+// twice produces the same bytes.
+func Save(dir string, r *Run) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("results: create store %s: %w", dir, err)
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("results: encode %s: %w", r.Meta.Experiment, err)
+	}
+	path := filepath.Join(dir, r.Meta.Filename())
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("results: write %s: %w", path, err)
+	}
+	return path, nil
+}
+
+// Load reads one run file.
+func Load(path string) (*Run, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("results: read %s: %w", path, err)
+	}
+	var r Run
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("results: decode %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// LoadExperiment reads the stored run of one experiment from a store
+// directory (the file Save writes for an unsharded run).
+func LoadExperiment(dir, experiment string) (*Run, error) {
+	return Load(filepath.Join(dir, Meta{Experiment: experiment}.Filename()))
+}
+
+// List returns the experiment ids with an unsharded run stored in dir,
+// sorted.
+func List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("results: list store %s: %w", dir, err)
+	}
+	var ids []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.Contains(name, ".shard") {
+			continue
+		}
+		ids = append(ids, strings.TrimSuffix(name, ".json"))
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Version returns a git-describable build version: the VCS revision
+// (12 hex digits, "-dirty" when the tree was modified) when the binary
+// was built inside a repository, "dev" otherwise.
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "dev"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// Merge reassembles a full run from its shards (in any order). Shards
+// must agree on experiment, seed, scale and quick, cover every index of
+// one ShardCount exactly once, and carry the same table set (titles,
+// headers, notes). Because the sweep engine shards grids into
+// contiguous index ranges and never re-seeds the surviving cells,
+// concatenating the shards' rows in shard order reproduces the
+// unsharded run byte-for-byte.
+func Merge(shards ...*Run) (*Run, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("results: merge of zero shards")
+	}
+	ordered := append([]*Run(nil), shards...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].Meta.ShardIndex < ordered[j].Meta.ShardIndex
+	})
+	first := ordered[0]
+	count := first.Meta.ShardCount
+	if count != len(ordered) {
+		return nil, fmt.Errorf("results: %s: have %d shards, meta says %d",
+			first.Meta.Experiment, len(ordered), count)
+	}
+	merged := &Run{Meta: first.Meta}
+	merged.Meta.ShardIndex, merged.Meta.ShardCount = 0, 0
+	for i, s := range ordered {
+		m := s.Meta
+		if m.Experiment != first.Meta.Experiment || m.Seed != first.Meta.Seed ||
+			m.Scale != first.Meta.Scale || m.Quick != first.Meta.Quick {
+			return nil, fmt.Errorf("results: shard %d of %s was produced under different options",
+				m.ShardIndex, first.Meta.Experiment)
+		}
+		if m.ShardIndex != i || m.ShardCount != count {
+			return nil, fmt.Errorf("results: %s: missing or duplicate shard %d/%d (got %d/%d)",
+				first.Meta.Experiment, i, count, m.ShardIndex, m.ShardCount)
+		}
+		if len(s.Tables) != len(first.Tables) {
+			return nil, fmt.Errorf("results: shard %d of %s has %d tables, shard 0 has %d",
+				i, first.Meta.Experiment, len(s.Tables), len(first.Tables))
+		}
+		for ti, tab := range s.Tables {
+			base := first.Tables[ti]
+			if tab.Title != base.Title || !equalStrings(tab.Header, base.Header) ||
+				!equalStrings(tab.Notes, base.Notes) {
+				return nil, fmt.Errorf("results: shard %d of %s: table %q does not line up with %q",
+					i, first.Meta.Experiment, tab.Title, base.Title)
+			}
+			if i == 0 {
+				nt := metrics.NewTable(base.Title, base.Header...)
+				for _, n := range base.Notes {
+					nt.AddNote("%s", n)
+				}
+				merged.Tables = append(merged.Tables, nt)
+			}
+			for _, row := range tab.Cells() {
+				merged.Tables[ti].AddValues(row)
+			}
+		}
+	}
+	return merged, nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

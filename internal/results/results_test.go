@@ -1,0 +1,255 @@
+package results
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lockin/internal/metrics"
+)
+
+func demoRun(thr, tpp float64) *Run {
+	t := metrics.NewTable("demo — contention", "threads", "lock", "thr(M/s)", "TPP(K/J)")
+	t.AddRow(20, "MUTEX", thr, tpp)
+	t.AddRow(40, "MUTEXEE", 2*thr, 2*tpp)
+	t.AddNote("seed 42")
+	return &Run{
+		Meta:   Meta{Experiment: "demo", Seed: 42, Scale: 1, Quick: true, Version: "test"},
+		Tables: []*metrics.Table{t},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := demoRun(3.5, 12.25)
+	path, err := Save(dir, r)
+	if err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if want := filepath.Join(dir, "demo.json"); path != want {
+		t.Fatalf("saved to %s, want %s", path, want)
+	}
+	got, err := LoadExperiment(dir, "demo")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if got.Meta != r.Meta {
+		t.Fatalf("meta changed: %+v vs %+v", got.Meta, r.Meta)
+	}
+	if len(got.Tables) != 1 || !metrics.EqualTable(got.Tables[0], r.Tables[0]) {
+		t.Fatalf("tables changed across save/load")
+	}
+	if got.Tables[0].String() != r.Tables[0].String() {
+		t.Fatalf("rendering changed across save/load")
+	}
+	// A reloaded run diffs clean against the original with zero
+	// tolerance — the property the CI determinism gate relies on.
+	if rep := Diff(r, got, Tolerance{}); !rep.Empty() {
+		t.Fatalf("self-diff not empty:\n%s", rep)
+	}
+	ids, err := List(dir)
+	if err != nil || len(ids) != 1 || ids[0] != "demo" {
+		t.Fatalf("List = %v, %v", ids, err)
+	}
+}
+
+func TestDiffExactMatch(t *testing.T) {
+	rep := Diff(demoRun(3.5, 12.25), demoRun(3.5, 12.25), Tolerance{})
+	if !rep.Empty() || rep.NumDiffs() != 0 {
+		t.Fatalf("identical runs diff: %s", rep)
+	}
+	if !strings.Contains(rep.String(), "no differences") {
+		t.Fatalf("empty report renders %q", rep.String())
+	}
+}
+
+func TestDiffToleranceEdges(t *testing.T) {
+	base := demoRun(100, 10)
+	// 0.5% drift on every numeric cell.
+	drifted := demoRun(100.5, 10.05)
+
+	// Out of tolerance at zero tolerance: both float columns flag in
+	// both rows (int/string cells are unchanged).
+	rep := Diff(base, drifted, Tolerance{})
+	if rep.Empty() {
+		t.Fatal("0.5% drift passed a zero tolerance")
+	}
+	if n := len(rep.Tables[0].Cells); n != 4 {
+		t.Fatalf("%d cells flagged, want 4:\n%s", n, rep)
+	}
+	for _, c := range rep.Tables[0].Cells {
+		if c.RelErr <= 0 || c.RelErr > 0.006 {
+			t.Fatalf("rel err %g out of expected band: %+v", c.RelErr, c)
+		}
+	}
+
+	// Within tolerance: 1% default absorbs the drift.
+	if rep := Diff(base, drifted, Tolerance{Default: 0.01}); !rep.Empty() {
+		t.Fatalf("0.5%% drift flagged at 1%% tolerance:\n%s", rep)
+	}
+
+	// Per-column override: tight TPP column flags, loose default does
+	// not.
+	tol := Tolerance{Default: 0.01, Columns: map[string]float64{"TPP(K/J)": 0.001}}
+	rep = Diff(base, drifted, tol)
+	if rep.Empty() {
+		t.Fatal("per-column tolerance ignored")
+	}
+	for _, c := range rep.Tables[0].Cells {
+		if c.Column != "TPP(K/J)" {
+			t.Fatalf("column %s flagged despite loose default: %+v", c.Column, c)
+		}
+	}
+	if len(rep.Tables[0].Cells) != 2 {
+		t.Fatalf("want both TPP rows flagged:\n%s", rep)
+	}
+}
+
+func TestDiffCatchesKindAndRenderingChange(t *testing.T) {
+	base := demoRun(1, 1)
+	cur := demoRun(1, 1)
+	// Same numeric value, different kind and rendering: "20" -> "20.000".
+	cur.Tables[0].Cells()[0][0] = metrics.FloatValue(20)
+	rep := Diff(base, cur, Tolerance{})
+	if rep.Empty() {
+		t.Fatal("int->float rendering change passed a zero-tolerance diff")
+	}
+	if c := rep.Tables[0].Cells[0]; c.Column != "threads" || c.Cur.Text() != "20.000" {
+		t.Fatalf("unexpected cell flagged: %+v", c)
+	}
+	// The same change is still flagged under a loose numeric tolerance —
+	// the printed table changed even though the value did not.
+	if rep := Diff(base, cur, Tolerance{Default: 0.5}); rep.Empty() {
+		t.Fatal("rendering change passed under a numeric tolerance")
+	}
+	// A kind change combined with within-tolerance drift must still
+	// flag: int 20 -> float 20.002 under a 1% tolerance.
+	cur2 := demoRun(1, 1)
+	cur2.Tables[0].Cells()[0][0] = metrics.FloatValue(20.002)
+	if rep := Diff(base, cur2, Tolerance{Default: 0.01}); rep.Empty() {
+		t.Fatal("column type change passed because the drift was within tolerance")
+	}
+	// But pure drift within tolerance on a same-kind column stays quiet.
+	cur3 := demoRun(1.0005, 1)
+	if rep := Diff(demoRun(1, 1), cur3, Tolerance{Default: 0.01}); !rep.Empty() {
+		t.Fatalf("within-tolerance same-kind drift flagged:\n%s", rep)
+	}
+}
+
+func TestDiffRowCountMismatch(t *testing.T) {
+	base := demoRun(1, 1)
+	cur := demoRun(1, 1)
+	cur.Tables[0].AddRow(60, "TAS", 0.5, 0.5)
+	rep := Diff(base, cur, Tolerance{})
+	if rep.Empty() || rep.Tables[0].RowsAdded != 1 || rep.Tables[0].RowsRemoved != 0 {
+		t.Fatalf("added row not reported: %s", rep)
+	}
+	// And the reverse direction.
+	rep = Diff(cur, base, Tolerance{})
+	if rep.Empty() || rep.Tables[0].RowsRemoved != 1 || rep.Tables[0].RowsAdded != 0 {
+		t.Fatalf("removed row not reported: %s", rep)
+	}
+	if rep.NumDiffs() != 1 {
+		t.Fatalf("NumDiffs = %d, want 1", rep.NumDiffs())
+	}
+}
+
+func TestDiffTextAndStructure(t *testing.T) {
+	base := demoRun(1, 1)
+	cur := demoRun(1, 1)
+	// Rename a lock: text cells compare exactly, never within tolerance.
+	cur.Tables[0].Cells()[0][1] = metrics.StringValue("SPIN")
+	cur.Tables[0].Notes[0] = "seed 43"
+	rep := Diff(base, cur, Tolerance{Default: 100})
+	if rep.Empty() {
+		t.Fatal("text change passed under a numeric tolerance")
+	}
+	td := rep.Tables[0]
+	if len(td.Cells) != 1 || td.Cells[0].Column != "lock" || !td.NotesDiff {
+		t.Fatalf("unexpected report: %s", rep)
+	}
+
+	// A missing table is reported by title on both sides.
+	extra := metrics.NewTable("only-here", "x")
+	cur2 := demoRun(1, 1)
+	cur2.Tables = append(cur2.Tables, extra)
+	rep = Diff(base, cur2, Tolerance{})
+	if len(rep.TablesAdded) != 1 || rep.TablesAdded[0] != "only-here" {
+		t.Fatalf("added table not reported: %s", rep)
+	}
+	rep = Diff(cur2, base, Tolerance{})
+	if len(rep.TablesRemoved) != 1 || rep.TablesRemoved[0] != "only-here" {
+		t.Fatalf("removed table not reported: %s", rep)
+	}
+}
+
+func TestMergeShards(t *testing.T) {
+	full := demoRun(3, 9)
+	full.Tables[0].AddRow(60, "TAS", 1.5, 4.5)
+
+	shard := func(idx int, rows ...int) *Run {
+		t := metrics.NewTable(full.Tables[0].Title, full.Tables[0].Header...)
+		for _, r := range rows {
+			t.AddValues(full.Tables[0].Cells()[r])
+		}
+		t.AddNote("seed 42")
+		m := full.Meta
+		m.ShardIndex, m.ShardCount = idx, 2
+		return &Run{Meta: m, Tables: []*metrics.Table{t}}
+	}
+	s0, s1 := shard(0, 0, 1), shard(1, 2)
+
+	merged, err := Merge(s1, s0) // any order
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if merged.Meta.ShardCount != 0 || merged.Meta.ShardIndex != 0 {
+		t.Fatalf("merged meta still sharded: %+v", merged.Meta)
+	}
+	if merged.Tables[0].String() != full.Tables[0].String() {
+		t.Fatalf("merge not byte-identical:\n%s\nvs\n%s",
+			merged.Tables[0], full.Tables[0])
+	}
+	if rep := Diff(full, merged, Tolerance{}); !rep.Empty() {
+		t.Fatalf("merged run diffs against full run:\n%s", rep)
+	}
+
+	// Error paths: missing shard, duplicate shard, option mismatch.
+	if _, err := Merge(s0); err == nil {
+		t.Fatal("merge accepted a missing shard")
+	}
+	if _, err := Merge(s0, s0); err == nil {
+		t.Fatal("merge accepted duplicate shards")
+	}
+	bad := shard(1, 2)
+	bad.Meta.Seed = 7
+	if _, err := Merge(s0, bad); err == nil {
+		t.Fatal("merge accepted shards from different seeds")
+	}
+	if _, err := Merge(); err == nil {
+		t.Fatal("merge of nothing succeeded")
+	}
+}
+
+func TestSaveShardFilename(t *testing.T) {
+	dir := t.TempDir()
+	r := demoRun(1, 1)
+	r.Meta.ShardIndex, r.Meta.ShardCount = 1, 4
+	path, err := Save(dir, r)
+	if err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if want := filepath.Join(dir, "demo.shard1-of-4.json"); path != want {
+		t.Fatalf("shard saved to %s, want %s", path, want)
+	}
+	// Shard files are excluded from List.
+	if ids, _ := List(dir); len(ids) != 0 {
+		t.Fatalf("List picked up shard files: %v", ids)
+	}
+}
+
+func TestVersionNonEmpty(t *testing.T) {
+	if Version() == "" {
+		t.Fatal("Version returned empty string")
+	}
+}

@@ -36,9 +36,17 @@ type Options struct {
 	// Quick trims sweep grids for CI-style runs. Interpreted by grid
 	// builders, not the engine.
 	Quick bool
+	// ShardIndex/ShardCount split a grid across processes: when
+	// ShardCount > 1, only the cells of shard ShardIndex (a contiguous
+	// index range, see ShardRange) execute; the rest are skipped — not
+	// re-seeded — so every surviving cell keeps its index-derived seed
+	// and the union of all shards is byte-identical to an unsharded
+	// run. ShardCount ≤ 1 runs everything.
+	ShardIndex int
+	ShardCount int
 	// Progress, when non-nil, is called from the collecting goroutine
 	// after each cell finishes, with the number of finished cells and
-	// the grid total.
+	// the count of cells in this shard.
 	Progress func(done, total int)
 }
 
@@ -71,6 +79,34 @@ func CellSeed(seed int64, index int) int64 {
 	return int64(z)
 }
 
+// ShardRange returns the half-open cell-index interval [lo, hi) this
+// shard owns in a grid of n cells. Shards are contiguous, near-equal
+// slices of the index space: concatenating the outputs of shards
+// 0..ShardCount-1 yields the cells 0..n-1 in order, which is what lets
+// results.Merge reassemble sharded runs byte-identically.
+func (o Options) ShardRange(n int) (lo, hi int) {
+	if o.ShardCount <= 1 {
+		return 0, n
+	}
+	i := o.ShardIndex
+	if i < 0 {
+		i = 0
+	}
+	if i >= o.ShardCount {
+		i = o.ShardCount - 1
+	}
+	return n * i / o.ShardCount, n * (i + 1) / o.ShardCount
+}
+
+// InShard reports whether cell index i of an n-cell grid belongs to
+// this shard. Aggregating consumers (experiments that post-process a
+// Run slice) use it to skip the zero values of cells another shard
+// owns.
+func (o Options) InShard(i, n int) bool {
+	lo, hi := o.ShardRange(n)
+	return i >= lo && i < hi
+}
+
 // Cell identifies one grid cell of a sweep.
 type Cell struct {
 	// Index is the cell's position in registration order.
@@ -83,30 +119,36 @@ type Cell struct {
 func (o Options) cell(i int) Cell { return Cell{Index: i, Seed: CellSeed(o.Seed, i)} }
 
 // Run executes n independent cells across the worker pool and returns
-// their results in index order.
+// their results in index order. Under sharding (ShardCount > 1) the
+// slice still has n entries, but cells outside this shard's range are
+// skipped and left as zero values — post-processing consumers filter
+// them with InShard.
 func Run[T any](o Options, n int, fn func(Cell) T) []T {
 	out := make([]T, n)
 	Each(o, n, fn, func(i int, v T) { out[i] = v })
 	return out
 }
 
-// Each executes n independent cells across the worker pool, streaming
-// results to emit in strict index order as each prefix completes. emit
-// and Progress run on the calling goroutine; fn runs on worker
-// goroutines (or inline when the pool resolves to one worker).
+// Each executes the cells of this shard (all n cells when unsharded)
+// across the worker pool, streaming results to emit in strict index
+// order as each prefix completes. emit and Progress run on the calling
+// goroutine; fn runs on worker goroutines (or inline when the pool
+// resolves to one worker).
 func Each[T any](o Options, n int, fn func(Cell) T, emit func(i int, v T)) {
-	if n <= 0 {
+	lo, hi := o.ShardRange(n)
+	if hi <= lo {
 		return
 	}
+	total := hi - lo
 	workers := o.WorkerCount()
-	if workers > n {
-		workers = n
+	if workers > total {
+		workers = total
 	}
 	if workers == 1 {
-		for i := 0; i < n; i++ {
+		for i := lo; i < hi; i++ {
 			v := fn(o.cell(i))
 			if o.Progress != nil {
-				o.Progress(i+1, n)
+				o.Progress(i-lo+1, total)
 			}
 			emit(i, v)
 		}
@@ -119,9 +161,9 @@ func Each[T any](o Options, n int, fn func(Cell) T, emit func(i int, v T)) {
 		panic any
 	}
 	idx := make(chan int)
-	// out is buffered to n so workers and the feeder always drain even
-	// if the collector re-panics early.
-	out := make(chan result, n)
+	// out is buffered to the shard size so workers and the feeder
+	// always drain even if the collector re-panics early.
+	out := make(chan result, total)
 	// stop aborts dispatch after a cell panics, so a failure early in a
 	// long sweep doesn't simulate the remaining cells before surfacing.
 	stop := make(chan struct{})
@@ -143,7 +185,7 @@ func Each[T any](o Options, n int, fn func(Cell) T, emit func(i int, v T)) {
 	}
 	go func() {
 	feed:
-		for i := 0; i < n; i++ {
+		for i := lo; i < hi; i++ {
 			select {
 			case idx <- i:
 			case <-stop:
@@ -156,7 +198,7 @@ func Each[T any](o Options, n int, fn func(Cell) T, emit func(i int, v T)) {
 	}()
 
 	pending := make(map[int]T, workers)
-	next, done := 0, 0
+	next, done := lo, 0
 	var failed any
 	for r := range out {
 		if r.panic != nil && failed == nil {
@@ -166,7 +208,7 @@ func Each[T any](o Options, n int, fn func(Cell) T, emit func(i int, v T)) {
 		}
 		done++
 		if o.Progress != nil {
-			o.Progress(done, n)
+			o.Progress(done, total)
 		}
 		pending[r.i] = r.v
 		for {

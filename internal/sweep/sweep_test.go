@@ -199,3 +199,137 @@ func TestRunEmptyGrid(t *testing.T) {
 		t.Fatalf("empty grid returned %v", got)
 	}
 }
+
+// TestShardRangePartitions checks that shards tile the index space:
+// contiguous, disjoint, and complete for any (n, count) combination,
+// including counts larger than the grid.
+func TestShardRangePartitions(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 30, 64} {
+		for _, count := range []int{1, 2, 3, 7, 41} {
+			prev := 0
+			for s := 0; s < count; s++ {
+				lo, hi := Options{ShardIndex: s, ShardCount: count}.ShardRange(n)
+				if lo != prev || hi < lo {
+					t.Fatalf("n=%d count=%d shard %d: range [%d,%d) after %d", n, count, s, lo, hi, prev)
+				}
+				for i := lo; i < hi; i++ {
+					if !(Options{ShardIndex: s, ShardCount: count}).InShard(i, n) {
+						t.Fatalf("InShard(%d) false inside shard %d's range", i, s)
+					}
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d count=%d: shards cover %d cells", n, count, prev)
+			}
+		}
+	}
+	// Unsharded options own everything.
+	if lo, hi := (Options{}).ShardRange(9); lo != 0 || hi != 9 {
+		t.Fatalf("unsharded range [%d,%d)", lo, hi)
+	}
+	// Out-of-range shard indices clamp instead of panicking.
+	if lo, hi := (Options{ShardIndex: 5, ShardCount: 2}).ShardRange(10); lo != 5 || hi != 10 {
+		t.Fatalf("clamped range [%d,%d)", lo, hi)
+	}
+}
+
+// TestShardUnionEqualsUnsharded is the sharding contract at the engine
+// level: every cell of a sharded run keeps the seed and value it has in
+// the unsharded run, and concatenating the shards' emissions in shard
+// order reproduces the unsharded emission sequence exactly.
+func TestShardUnionEqualsUnsharded(t *testing.T) {
+	const n = 23
+	fn := func(c Cell) string { return fmt.Sprintf("cell-%d-seed-%d", c.Index, c.Seed) }
+	var want []string
+	Each(Options{Workers: 1, Seed: 42}, n, fn, func(i int, v string) { want = append(want, v) })
+
+	for _, count := range []int{2, 3, 5} {
+		var got []string
+		executed := 0
+		for s := 0; s < count; s++ {
+			o := Options{Workers: 4, Seed: 42, ShardIndex: s, ShardCount: count}
+			Each(o, n, fn, func(i int, v string) {
+				got = append(got, v)
+				executed++
+			})
+		}
+		if executed != n {
+			t.Fatalf("count=%d: shards executed %d cells, want %d", count, executed, n)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("count=%d: union diverges at %d: %q vs %q", count, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestShardRunLeavesSkippedZero pins Run's sharded contract: the result
+// slice keeps full length, with zero values exactly where InShard is
+// false.
+func TestShardRunLeavesSkippedZero(t *testing.T) {
+	o := Options{Workers: 2, Seed: 1, ShardIndex: 1, ShardCount: 2}
+	const n = 9
+	got := Run(o, n, func(c Cell) int { return c.Index + 100 })
+	for i := 0; i < n; i++ {
+		in := o.InShard(i, n)
+		if in && got[i] != i+100 {
+			t.Fatalf("cell %d in shard but value %d", i, got[i])
+		}
+		if !in && got[i] != 0 {
+			t.Fatalf("cell %d outside shard but value %d", i, got[i])
+		}
+	}
+}
+
+// TestShardProgressCountsShardCells checks Progress reports the shard's
+// own cell count, not the full grid.
+func TestShardProgressCountsShardCells(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var calls int32
+		o := Options{Workers: workers, Seed: 3, ShardIndex: 0, ShardCount: 3,
+			Progress: func(done, total int) {
+				atomic.AddInt32(&calls, 1)
+				if total != 10 { // 30 cells over 3 shards
+					t.Errorf("total %d, want 10", total)
+				}
+			}}
+		Run(o, 30, func(c Cell) int { return c.Index })
+		if calls != 10 {
+			t.Fatalf("Workers=%d: %d progress calls, want 10", workers, calls)
+		}
+	}
+}
+
+// TestShardGridRows checks sharding through the Grid layer: each
+// shard's table holds its own cells' rows, and concatenating the
+// shards' rows reproduces the unsharded table.
+func TestShardGridRows(t *testing.T) {
+	build := func(o Options) *metrics.Table {
+		tab := metrics.NewTable("grid", "cell", "seed")
+		g := NewGrid(o)
+		for i := 0; i < 11; i++ {
+			g.Add(func(c Cell) []Row { return []Row{{c.Index, c.Seed}} })
+		}
+		g.Into(tab)
+		return tab
+	}
+	full := build(Options{Workers: 3, Seed: 42})
+	var union [][]string
+	for s := 0; s < 2; s++ {
+		shard := build(Options{Workers: 3, Seed: 42, ShardIndex: s, ShardCount: 2})
+		union = append(union, shard.Rows()...)
+	}
+	fullRows := full.Rows()
+	if len(union) != len(fullRows) {
+		t.Fatalf("union has %d rows, want %d", len(union), len(fullRows))
+	}
+	for i := range fullRows {
+		for j := range fullRows[i] {
+			if union[i][j] != fullRows[i][j] {
+				t.Fatalf("row %d differs: %v vs %v", i, union[i], fullRows[i])
+			}
+		}
+	}
+}
