@@ -4,7 +4,7 @@
 GO      ?= go
 WORKERS ?= 0# sweep workers: 0 = all CPUs, 1 = serial
 
-.PHONY: build test race bench lint sweep smoke results ci
+.PHONY: build test race bench lint sweep smoke results scenarios ci
 
 build:
 	$(GO) build ./...
@@ -52,4 +52,19 @@ results:
 	$(GO) run ./cmd/lockbench -experiment fig10 -quick -scale 0.25 -shard 1/2 -json /tmp/lockin-results/s1 > /dev/null
 	$(GO) run ./cmd/lockbench -experiment fig10 -quick -scale 0.25 -merge /tmp/lockin-results/s0,/tmp/lockin-results/s1 -baseline /tmp/lockin-results/baseline -diff
 
-ci: lint build test race smoke results bench
+# The CI scenario gate: every bundled spec must parse and compile, a
+# quick scenario smoke-runs with a parallel-vs-serial output diff, and
+# a sharded run merges back byte-identical to an unsharded one.
+scenarios:
+	rm -rf /tmp/lockin-scen
+	$(GO) run ./cmd/lockbench -validate-scenarios
+	$(GO) run ./cmd/lockbench -scenario testdata/quick-scenario.json -workers 1 | sed '/done in/d' > /tmp/lockin-scen-serial.txt
+	$(GO) run ./cmd/lockbench -scenario testdata/quick-scenario.json -workers 8 | sed '/done in/d' > /tmp/lockin-scen-parallel.txt
+	diff -u /tmp/lockin-scen-serial.txt /tmp/lockin-scen-parallel.txt
+	$(GO) run ./cmd/lockbench -scenario testdata/quick-scenario.json -json /tmp/lockin-scen/full > /dev/null
+	$(GO) run ./cmd/lockbench -scenario testdata/quick-scenario.json -shard 0/2 -json /tmp/lockin-scen/s0 > /dev/null
+	$(GO) run ./cmd/lockbench -scenario testdata/quick-scenario.json -shard 1/2 -json /tmp/lockin-scen/s1 > /dev/null
+	$(GO) run ./cmd/lockbench -scenario testdata/quick-scenario.json -merge /tmp/lockin-scen/s0,/tmp/lockin-scen/s1 -json /tmp/lockin-scen/merged -baseline /tmp/lockin-scen/full -diff
+	cmp /tmp/lockin-scen/full/scenario-quick.json /tmp/lockin-scen/merged/scenario-quick.json
+
+ci: lint build test race smoke results scenarios bench

@@ -1,16 +1,30 @@
 // Command lockbench regenerates the paper's tables and figures on the
-// simulated Xeon and manages the persistent results store.
+// simulated Xeon, runs declarative scenario specs, and manages the
+// persistent results store.
 //
 // Usage:
 //
 //	lockbench -list
 //	lockbench -experiment fig11
+//	lockbench -experiment scenario:kyoto
 //	lockbench -experiment all -scale 4 -seed 7 -workers 8
+//
+// Declarative scenarios (see README "Declarative scenarios"): bundled
+// specs register as scenario:<name> experiments; -scenario runs a spec
+// file without registering it, with every store flag available:
+//
+//	lockbench -scenario testdata/quick-scenario.json -workers 8
+//	lockbench -scenario spec.json -json out/
+//	lockbench -validate-scenarios
 //
 // Results store (save a baseline, rerun, diff):
 //
 //	lockbench -experiment fig10 -json out/
 //	lockbench -experiment fig10 -baseline out/ -diff
+//
+// Scenario runs record the spec's content hash; diffing two runs of
+// different spec revisions is refused with an error instead of
+// reporting workload changes as regressions.
 //
 // Multi-process sharding (the union of shards is byte-identical to an
 // unsharded run):
@@ -42,12 +56,15 @@ import (
 	"lockin/internal/experiments"
 	"lockin/internal/metrics"
 	"lockin/internal/results"
+	"lockin/internal/scenario"
 )
 
 func main() {
 	var (
 		list     = flag.Bool("list", false, "list available experiments and exit")
 		id       = flag.String("experiment", "", "experiment id to run, or 'all'")
+		scenFile = flag.String("scenario", "", "run a scenario spec file instead of a registered experiment")
+		validate = flag.Bool("validate-scenarios", false, "parse and compile every bundled scenario spec, then exit")
 		seed     = flag.Int64("seed", 42, "simulation RNG seed")
 		scale    = flag.Float64("scale", 1.0, "measurement-window multiplier")
 		quick    = flag.Bool("quick", false, "trim sweep grids (CI mode)")
@@ -62,14 +79,14 @@ func main() {
 	)
 	flag.Parse()
 
-	if *list || *id == "" {
-		fmt.Println("experiments (one per paper table/figure):")
-		for _, e := range experiments.All() {
-			fmt.Printf("  %-12s %s\n", e.ID, e.Title)
-			fmt.Printf("  %-12s paper: %s\n", "", e.Paper)
-		}
-		if *id == "" && !*list {
-			fmt.Fprintln(os.Stderr, "\nuse -experiment <id> (or 'all') to run one")
+	if *validate {
+		validateScenarios()
+		return
+	}
+	if *list || (*id == "" && *scenFile == "") {
+		listExperiments()
+		if *id == "" && *scenFile == "" && !*list {
+			fmt.Fprintln(os.Stderr, "\nuse -experiment <id> (or 'all'), or -scenario <spec.json>, to run one")
 			os.Exit(2)
 		}
 		return
@@ -78,6 +95,10 @@ func main() {
 	shardIdx, shardCnt, err := parseShard(*shardArg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *id != "" && *scenFile != "" {
+		fmt.Fprintln(os.Stderr, "lockbench: -experiment and -scenario are mutually exclusive")
 		os.Exit(2)
 	}
 	if *diffGate && *baseline == "" {
@@ -98,9 +119,22 @@ func main() {
 		ShardIndex: shardIdx, ShardCount: shardCnt,
 	}
 	var todo []experiments.Experiment
-	if *id == "all" {
+	switch {
+	case *scenFile != "":
+		data, err := os.ReadFile(*scenFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lockbench: read scenario spec: %v\n", err)
+			os.Exit(2)
+		}
+		c, err := scenario.ParseAndCompile(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		todo = []experiments.Experiment{c.Experiment()}
+	case *id == "all":
 		todo = experiments.All()
-	} else {
+	default:
 		e, err := experiments.Find(*id)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -159,7 +193,7 @@ func main() {
 				Meta: results.Meta{
 					Experiment: e.ID, Seed: *seed, Scale: *scale, Quick: *quick,
 					Workers: *workers, ShardIndex: shardIdx, ShardCount: shardCnt,
-					Version: results.Version(),
+					SpecHash: e.SpecHash, Version: results.Version(),
 				},
 				Tables: tables,
 			}
@@ -179,7 +213,11 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			rep := results.Diff(base, run, tolerance)
+			rep, err := results.Compare(base, run, tolerance)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 			fmt.Printf("### %s vs baseline %s (tol %g): %s\n", e.ID, *baseline, *tol, strings.TrimRight(rep.String(), "\n"))
 			if !rep.Empty() {
 				differs = true
@@ -190,6 +228,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lockbench: differences against baseline")
 		os.Exit(1)
 	}
+}
+
+// listExperiments prints every registered experiment — the built-in
+// paper figures and the dynamically registered scenario:* specs — with
+// its description, sorted by id for stable output.
+func listExperiments() {
+	fmt.Println("experiments (one per paper table/figure; scenario:* compiled from bundled specs):")
+	for _, id := range experiments.IDs() {
+		e, err := experiments.Find(id)
+		if err != nil {
+			continue // unreachable: IDs() comes from the registry
+		}
+		fmt.Printf("  %-22s %s\n", e.ID, e.Title)
+		fmt.Printf("  %-22s %s\n", "", e.Paper)
+	}
+}
+
+// validateScenarios re-parses and compiles every bundled spec,
+// printing one line per scenario — the CI guard that the shipped
+// bundle stays loadable.
+func validateScenarios() {
+	cs, err := scenario.Bundled()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, c := range cs {
+		fmt.Printf("ok %-24s spec %s  (%d locks, %d groups)\n", c.ID(), c.Hash, len(c.Spec.Locks), len(c.Spec.Groups))
+	}
+	fmt.Printf("%d bundled scenarios validated\n", len(cs))
 }
 
 func printTables(tabs []*metrics.Table) {
@@ -222,19 +290,22 @@ func parseShard(s string) (idx, count int, err error) {
 // mergeStored loads the stored shard runs of one experiment from the
 // given store directories and reassembles the full run.
 func mergeStored(id string, dirs []string) (*results.Run, error) {
+	// The store file name sanitizes the id (scenario:* ids), so derive
+	// the glob prefix from the same mapping Save uses.
+	base := strings.TrimSuffix(results.Meta{Experiment: id}.Filename(), ".json")
 	var shards []*results.Run
 	for _, dir := range dirs {
 		dir = strings.TrimSpace(dir)
 		if dir == "" {
 			continue
 		}
-		matches, err := filepath.Glob(filepath.Join(dir, id+".shard*.json"))
+		matches, err := filepath.Glob(filepath.Join(dir, base+".shard*.json"))
 		if err != nil {
 			return nil, fmt.Errorf("lockbench: scan %s: %w", dir, err)
 		}
 		if len(matches) == 0 {
 			// Accept an unsharded file too, so a 1-shard "merge" works.
-			matches = []string{filepath.Join(dir, id+".json")}
+			matches = []string{filepath.Join(dir, base+".json")}
 		}
 		sort.Strings(matches)
 		for _, m := range matches {

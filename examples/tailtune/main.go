@@ -1,49 +1,39 @@
 // Tailtune shows how a developer uses MUTEXEE's futex timeout to trade
-// throughput for bounded tail latency (§5.1 / Figure 10): it sweeps the
-// timeout on a contended lock and prints throughput, TPP and the maximum
-// acquire latency, so the knee of the trade-off is visible.
-//
-// The full timeout × threads percentile grid behind this walkthrough is
-// a registered experiment: `lockbench -experiment fig10_tail` runs it
-// through the parallel sweep engine and can store/diff it like any
-// paper table.
+// throughput for bounded tail latency (§5.1 / Figure 10). It is a thin
+// CLI wrapper over the registered fig10_tail experiment — the full
+// timeout × threads percentile grid runs through the parallel sweep
+// engine, so the walkthrough and `lockbench -experiment fig10_tail`
+// print the same table instead of maintaining two sweep
+// implementations.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
-	"lockin"
-	"lockin/internal/core"
-	"lockin/internal/machine"
-	"lockin/internal/sim"
+	"lockin/internal/experiments"
 )
 
 func main() {
-	fmt.Println("MUTEXEE timeout sweep — 20 threads, 2000-cycle critical sections")
-	fmt.Printf("%-14s  %12s  %12s  %14s\n", "timeout", "thr (Kacq/s)", "TPP (Kacq/J)", "max lat (Mcyc)")
+	var (
+		seed    = flag.Int64("seed", 42, "simulation RNG seed")
+		scale   = flag.Float64("scale", 1.0, "measurement-window multiplier")
+		quick   = flag.Bool("quick", false, "trim the timeout grid (CI mode)")
+		workers = flag.Int("workers", 0, "parallel sweep workers (0 = all CPUs, 1 = serial)")
+	)
+	flag.Parse()
 
-	timeouts := []sim.Cycles{0, 22_400, 224_000, 2_800_000, 22_400_000}
-	names := []string{"none", "8 µs", "80 µs", "1 ms", "8 ms"}
-	for i, to := range timeouts {
-		to := to
-		cfg := lockin.DefaultMicroConfig(21)
-		cfg.Factory = func(m *machine.Machine) core.Lock {
-			o := core.DefaultMutexeeOptions()
-			o.Timeout = to
-			return core.NewMutexee(m, o)
-		}
-		cfg.Threads = 20
-		cfg.CS = 2000
-		cfg.Outside = 500
-		cfg.Duration = 20_000_000
-		cfg.RecordLatency = true
-
-		r := lockin.RunMicro(cfg)
-		fmt.Printf("%-14s  %12.0f  %12.2f  %14.2f\n",
-			names[i], r.Throughput()/1e3, r.TPP()/1e3, float64(r.Latency.Max())/1e6)
+	e, err := experiments.Find("fig10_tail")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-
-	fmt.Println()
-	fmt.Println("Shorter timeouts bound the tail but surrender the unfairness")
-	fmt.Println("that makes MUTEXEE fast (paper Figure 10).")
+	fmt.Printf("%s\n(paper: %s)\n\n", e.Title, e.Paper)
+	o := experiments.Options{Seed: *seed, Scale: *scale, Quick: *quick, Workers: *workers}
+	for _, t := range e.Run(o) {
+		fmt.Println(t)
+	}
+	fmt.Println("Shorter timeouts bound the tail (max latency ≈ the timeout) but")
+	fmt.Println("surrender the unfairness that makes MUTEXEE fast (paper Figure 10).")
 }

@@ -57,6 +57,10 @@ func (k Kind) String() string {
 	return kindNames[k]
 }
 
+// KindNames returns every built-in algorithm name, in the paper's
+// table order.
+func KindNames() []string { return append([]string(nil), kindNames[:]...) }
+
 // AllKinds returns every built-in algorithm, in the paper's table order.
 func AllKinds() []Kind {
 	out := make([]Kind, 0, numKinds)

@@ -45,15 +45,21 @@ type Options struct {
 // DefaultOptions returns quick settings with a fixed seed.
 func DefaultOptions() Options { return Options{Seed: 42, Scale: 1.0} }
 
-func (o Options) dur(base sim.Cycles) sim.Cycles {
+func (o Options) dur(base sim.Cycles) sim.Cycles { return o.Window(base) }
+
+// Window scales a quick-default measurement window by Options.Scale.
+func (o Options) Window(base sim.Cycles) sim.Cycles {
 	if o.Scale <= 0 {
 		return base
 	}
 	return sim.Cycles(float64(base) * o.Scale)
 }
 
-// sweep lowers the experiment options onto the grid engine.
-func (o Options) sweep() sweep.Options {
+// SweepOptions lowers the experiment options onto the grid engine.
+// Dynamically registered experiments (compiled scenarios) use it to run
+// their grids under the same determinism and sharding contract as the
+// built-in figures.
+func (o Options) SweepOptions() sweep.Options {
 	return sweep.Options{
 		Workers:    o.Workers,
 		Seed:       o.Seed,
@@ -64,6 +70,9 @@ func (o Options) sweep() sweep.Options {
 		Progress:   o.Progress,
 	}
 }
+
+// sweep is the historical internal spelling of SweepOptions.
+func (o Options) sweep() sweep.Options { return o.SweepOptions() }
 
 // grid starts an empty cell grid executing under these options.
 func (o Options) grid() *sweep.Grid { return sweep.NewGrid(o.sweep()) }
@@ -87,6 +96,11 @@ type Experiment struct {
 	// subset — valid on its own, but shards must NOT be merged
 	// row-wise into a full run (fig12-fig15).
 	Aggregate bool
+	// SpecHash is the content hash of the declarative spec a dynamic
+	// experiment was compiled from (empty for the built-in figures). It
+	// is recorded in results.Meta so diffs refuse to compare runs of
+	// different spec revisions.
+	SpecHash string
 	// Run executes the experiment and returns its rendered tables.
 	Run func(o Options) []*metrics.Table
 }
@@ -95,12 +109,22 @@ var registry = map[string]Experiment{}
 var order []string
 
 func register(e Experiment) {
+	if e.ID == "" {
+		panic("experiments: experiment without an id")
+	}
 	if _, dup := registry[e.ID]; dup {
 		panic("experiments: duplicate id " + e.ID)
 	}
 	registry[e.ID] = e
 	order = append(order, e.ID)
 }
+
+// Register adds a dynamically built experiment — e.g. a compiled
+// scenario spec — to the registry, making it runnable through the same
+// CLI, sweep and results-store paths as the built-in figures. It
+// panics on an empty or duplicate id, mirroring the init-time checks
+// of the static tables.
+func Register(e Experiment) { register(e) }
 
 // All returns every experiment in registration order.
 func All() []Experiment {

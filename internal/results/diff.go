@@ -121,6 +121,21 @@ func (r *Report) String() string {
 	return b.String()
 }
 
+// Compare diffs the current run against a baseline after checking the
+// runs are comparable at all: two runs carrying different non-empty
+// spec hashes were produced from different scenario revisions — their
+// cells measure different workloads — so comparing them cell-by-cell
+// would report noise as regressions. Such pairs return an error
+// instead of a report.
+func Compare(base, cur *Run, tol Tolerance) (*Report, error) {
+	bh, ch := base.Meta.SpecHash, cur.Meta.SpecHash
+	if bh != "" && ch != "" && bh != ch {
+		return nil, fmt.Errorf("results: refusing to diff %s: baseline was produced from spec revision %s but the current run from %s — the runs measure different workloads (rerun or re-save the baseline with the current spec)",
+			cur.Meta.Experiment, bh, ch)
+	}
+	return Diff(base, cur, tol), nil
+}
+
 // Diff structurally compares the current run against a baseline.
 // Tables pair up by title; rows compare positionally (grids emit rows
 // in a deterministic order); numeric cells compare within the column's

@@ -37,6 +37,11 @@ type Meta struct {
 	// of a grid (see sweep.Options); Merge reassembles the full run.
 	ShardIndex int `json:"shard_index,omitempty"`
 	ShardCount int `json:"shard_count,omitempty"`
+	// SpecHash is the content hash of the declarative scenario spec the
+	// run was compiled from (empty for built-in experiments). Two runs
+	// with different non-empty hashes measured different workloads, so
+	// Compare and Merge refuse to relate them.
+	SpecHash string `json:"spec_hash,omitempty"`
 	// Version is the git-describable build version (see Version).
 	Version string `json:"version"`
 }
@@ -48,11 +53,14 @@ type Run struct {
 }
 
 // Filename returns the file a run saves to under a store directory.
+// Experiment ids with path-hostile characters (the ':' of scenario:*)
+// are sanitized, so every id maps to a portable file name.
 func (m Meta) Filename() string {
 	name := m.Experiment
 	if name == "" {
 		name = "run"
 	}
+	name = strings.NewReplacer(":", "-", "/", "-").Replace(name)
 	if m.ShardCount > 1 {
 		name = fmt.Sprintf("%s.shard%d-of-%d", name, m.ShardIndex, m.ShardCount)
 	}
@@ -175,6 +183,10 @@ func Merge(shards ...*Run) (*Run, error) {
 			return nil, fmt.Errorf("results: shard %d of %s was produced under different options",
 				m.ShardIndex, first.Meta.Experiment)
 		}
+		if m.SpecHash != first.Meta.SpecHash {
+			return nil, fmt.Errorf("results: shard %d of %s ran spec revision %s, shard %d ran %s — regenerate the shards from one spec",
+				m.ShardIndex, first.Meta.Experiment, orNone(m.SpecHash), first.Meta.ShardIndex, orNone(first.Meta.SpecHash))
+		}
 		if m.ShardIndex != i || m.ShardCount != count {
 			return nil, fmt.Errorf("results: %s: missing or duplicate shard %d/%d (got %d/%d)",
 				first.Meta.Experiment, i, count, m.ShardIndex, m.ShardCount)
@@ -203,6 +215,14 @@ func Merge(shards ...*Run) (*Run, error) {
 		}
 	}
 	return merged, nil
+}
+
+// orNone renders an empty spec hash readably in error messages.
+func orNone(h string) string {
+	if h == "" {
+		return "(none)"
+	}
+	return h
 }
 
 func equalStrings(a, b []string) bool {

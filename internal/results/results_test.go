@@ -253,3 +253,51 @@ func TestVersionNonEmpty(t *testing.T) {
 		t.Fatal("Version returned empty string")
 	}
 }
+
+func TestCompareRefusesSpecRevisions(t *testing.T) {
+	base, cur := demoRun(1, 1), demoRun(1, 1)
+	base.Meta.SpecHash, cur.Meta.SpecHash = "aaaa00000000", "bbbb00000000"
+	if _, err := Compare(base, cur, Tolerance{}); err == nil {
+		t.Fatal("Compare accepted runs of different spec revisions")
+	} else if !strings.Contains(err.Error(), "spec revision") {
+		t.Fatalf("unhelpful refusal: %v", err)
+	}
+	// Same revision, or a legacy run without a hash, still compares.
+	cur.Meta.SpecHash = base.Meta.SpecHash
+	if rep, err := Compare(base, cur, Tolerance{}); err != nil || !rep.Empty() {
+		t.Fatalf("same-revision compare failed: %v / %v", err, rep)
+	}
+	cur.Meta.SpecHash = ""
+	if _, err := Compare(base, cur, Tolerance{}); err != nil {
+		t.Fatalf("hashless run refused: %v", err)
+	}
+}
+
+func TestMergeRefusesSpecRevisions(t *testing.T) {
+	mk := func(idx int, hash string) *Run {
+		r := demoRun(1, 1)
+		r.Meta.ShardIndex, r.Meta.ShardCount, r.Meta.SpecHash = idx, 2, hash
+		return r
+	}
+	if _, err := Merge(mk(0, "aaaa00000000"), mk(1, "bbbb00000000")); err == nil {
+		t.Fatal("merge accepted shards from different spec revisions")
+	}
+	m, err := Merge(mk(0, "aaaa00000000"), mk(1, "aaaa00000000"))
+	if err != nil {
+		t.Fatalf("same-revision merge failed: %v", err)
+	}
+	if m.Meta.SpecHash != "aaaa00000000" {
+		t.Fatalf("merge dropped the spec hash: %q", m.Meta.SpecHash)
+	}
+}
+
+func TestFilenameSanitizesScenarioIDs(t *testing.T) {
+	m := Meta{Experiment: "scenario:rw95"}
+	if got := m.Filename(); got != "scenario-rw95.json" {
+		t.Fatalf("Filename() = %q, want scenario-rw95.json", got)
+	}
+	m.ShardIndex, m.ShardCount = 1, 2
+	if got := m.Filename(); got != "scenario-rw95.shard1-of-2.json" {
+		t.Fatalf("sharded Filename() = %q", got)
+	}
+}

@@ -1,0 +1,385 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lockin/internal/core"
+	"lockin/internal/experiments"
+	"lockin/internal/machine"
+	"lockin/internal/metrics"
+	"lockin/internal/sim"
+	"lockin/internal/sweep"
+	"lockin/internal/systems"
+	"lockin/internal/topo"
+	"lockin/internal/workload"
+)
+
+// Compiled is a scenario lowered onto the simulation primitives: a
+// cell-grid experiment whose cells are (threads, cs, lock-kind)
+// combinations of the spec's sweep axes, each executed as a
+// systems.Runner profile on its own seeded machine.
+type Compiled struct {
+	Spec Spec
+	// Hash is the spec's content hash (see Spec.Hash); it rides into
+	// results.Meta.SpecHash so stored runs pin their spec revision.
+	Hash string
+
+	lockIndex map[string]int
+	pinned    []workload.LockFactory // per lock; nil = follow the axis
+	kindAxis  []lockKind
+}
+
+type lockKind struct {
+	name    string
+	factory workload.LockFactory
+}
+
+// ID returns the registry id the compiled experiment runs under.
+func (c *Compiled) ID() string { return "scenario:" + c.Spec.Name }
+
+// Compile validates and lowers a spec. The result is reusable and
+// safe for concurrent Runs: all mutable state lives in the per-cell
+// simulated machines.
+func Compile(s *Spec) (*Compiled, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Compiled{Spec: *s, Hash: s.Hash(), lockIndex: map[string]int{}}
+	for i, l := range c.Spec.Locks {
+		c.lockIndex[l.Name] = i
+		var pin workload.LockFactory
+		if l.Kind != "" {
+			f, err := workload.FactoryNamed(l.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s: lock %s: %w", s.Name, l.Name, err)
+			}
+			pin = f
+		}
+		c.pinned = append(c.pinned, pin)
+	}
+	axis := c.Spec.Sweep.Locks
+	if len(axis) == 0 {
+		axis = []string{"MUTEX"}
+	}
+	for _, k := range axis {
+		f, err := workload.FactoryNamed(k)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: sweep.locks: %w", s.Name, err)
+		}
+		c.kindAxis = append(c.kindAxis, lockKind{name: k, factory: f})
+	}
+	return c, nil
+}
+
+// ParseAndCompile parses a spec file's bytes and compiles it.
+func ParseAndCompile(data []byte) (*Compiled, error) {
+	s, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(s)
+}
+
+// Experiment wraps the compiled scenario as a registrable experiment.
+func (c *Compiled) Experiment() experiments.Experiment {
+	paper := c.Spec.Description
+	if paper == "" {
+		paper = "declarative scenario (no paper counterpart)"
+	}
+	return experiments.Experiment{
+		ID:       c.ID(),
+		Title:    c.title(),
+		Paper:    paper,
+		SpecHash: c.Hash,
+		Run:      c.Run,
+	}
+}
+
+func (c *Compiled) title() string {
+	if c.Spec.Title != "" {
+		return c.Spec.Title
+	}
+	return "scenario " + c.Spec.Name
+}
+
+// axes resolves the sweep axes for a run; quick mode trims each axis
+// to its first and last value, mirroring the grid trimming of the
+// built-in experiments.
+func (c *Compiled) axes(quick bool) (threads []int, css []int64, kinds []lockKind) {
+	threads = c.Spec.Sweep.Threads
+	if len(threads) == 0 {
+		threads = []int{0} // no axis: groups pin their counts
+	}
+	css = c.Spec.Sweep.CS
+	if len(css) == 0 {
+		css = []int64{0} // no axis: ops pin their cs
+	}
+	kinds = c.kindAxis
+	if quick {
+		threads = firstLast(threads)
+		css = firstLast(css)
+		kinds = firstLast(kinds)
+	}
+	return threads, css, kinds
+}
+
+func firstLast[T any](vals []T) []T {
+	if len(vals) <= 2 {
+		return vals
+	}
+	return []T{vals[0], vals[len(vals)-1]}
+}
+
+// machineConfig builds the cell's machine from the spec (seed filled
+// by the caller from the cell's derived seed).
+func (c *Compiled) machineConfig(seed int64) machine.Config {
+	mc := machine.DefaultConfig(seed)
+	if c.Spec.Machine.Topology == "corei7" {
+		mc.Topo = topo.CoreI7()
+	}
+	return mc
+}
+
+// totalThreads resolves the cell's thread count across all groups.
+func (c *Compiled) totalThreads(axisThreads int) int {
+	total := 0
+	for _, g := range c.Spec.Groups {
+		n := g.Threads
+		if n == 0 {
+			n = axisThreads
+		}
+		total += n
+	}
+	return total
+}
+
+// Run executes the scenario grid under the experiment options — one
+// sweep cell per (threads, cs, lock-kind) combination in threads-major
+// order — and renders one row per cell. Cells run on per-cell seeded
+// machines through the sweep engine, so output is bit-identical for
+// any worker count and shards merge byte-identically.
+func (c *Compiled) Run(o experiments.Options) []*metrics.Table {
+	threadAxis, csAxis, kinds := c.axes(o.Quick)
+	t := metrics.NewTable(c.title(),
+		"threads", "cs(cycles)", "lock", "thr(Kacq/s)", "TPP(Kacq/J)", "p99(Kcyc)")
+	warmup := c.Spec.WarmupCycles
+	if warmup == 0 {
+		warmup = defaultWarmup
+	}
+	duration := c.Spec.DurationCycles
+	if duration == 0 {
+		duration = defaultDuration
+	}
+	g := sweep.NewGrid(o.SweepOptions())
+	for _, n := range threadAxis {
+		for _, cs := range csAxis {
+			for _, lk := range kinds {
+				n, cs, lk := n, cs, lk
+				g.Add(func(cell sweep.Cell) []sweep.Row {
+					def := systems.Definition{
+						System:  "scenario",
+						Config:  c.Spec.Name,
+						Threads: c.totalThreads(n),
+						Build:   c.buildFn(n, cs),
+					}
+					res := def.Run(c.machineConfig(cell.Seed), lk.factory,
+						o.Window(sim.Cycles(warmup)), o.Window(sim.Cycles(duration)))
+					return []sweep.Row{{
+						c.totalThreads(n), cs, lk.name,
+						res.Throughput() / 1e3, res.TPP() / 1e3,
+						float64(res.Latency.Percentile(0.99)) / 1e3,
+					}}
+				})
+			}
+		}
+	}
+	g.Into(t)
+	t.AddNote("scenario %s (spec %s): %d locks, %d groups; cs/threads 0 = per-op/per-group values",
+		c.Spec.Name, c.Hash, len(c.Spec.Locks), len(c.Spec.Groups))
+	return []*metrics.Table{t}
+}
+
+// lockInst is one instantiated lock of a cell: how a loop step
+// acquires it, works for cs cycles, and releases it.
+type lockInst interface {
+	access(t *machine.Thread, rng *rand.Rand, read bool, cs sim.Cycles)
+}
+
+type singleInst struct{ l core.Lock }
+
+func (s singleInst) access(t *machine.Thread, _ *rand.Rand, _ bool, cs sim.Cycles) {
+	s.l.Lock(t)
+	t.Compute(cs)
+	s.l.Unlock(t)
+}
+
+type stripedInst struct{ ls []core.Lock }
+
+func (s stripedInst) access(t *machine.Thread, rng *rand.Rand, _ bool, cs sim.Cycles) {
+	l := s.ls[rng.Intn(len(s.ls))]
+	l.Lock(t)
+	t.Compute(cs)
+	l.Unlock(t)
+}
+
+type rwInst struct{ rw *core.RWLock }
+
+func (s rwInst) access(t *machine.Thread, _ *rand.Rand, read bool, cs sim.Cycles) {
+	if read {
+		s.rw.RLock(t)
+		t.Compute(cs)
+		s.rw.RUnlock(t)
+		return
+	}
+	s.rw.Lock(t)
+	t.Compute(cs)
+	s.rw.Unlock(t)
+}
+
+// condQueueInst is the leader/follower write queue: the first thread
+// into an empty queue becomes leader and runs the whole batch (the cs)
+// while followers sleep on the condition variable until the leader's
+// broadcast — RocksDB's group-commit discipline, where the queue, not
+// the lock, bounds throughput.
+type condQueueInst struct {
+	q      core.Lock
+	cond   *core.Cond
+	queued *int
+}
+
+func (s condQueueInst) access(t *machine.Thread, _ *rand.Rand, _ bool, cs sim.Cycles) {
+	s.q.Lock(t)
+	*s.queued++
+	if *s.queued == 1 {
+		// Leader: drop the queue lock while writing the batch so
+		// followers can enqueue behind us, then close the batch and
+		// collect them with the broadcast.
+		s.q.Unlock(t)
+		t.Compute(cs)
+		s.q.Lock(t)
+		*s.queued = 0
+		s.q.Unlock(t)
+		s.cond.Broadcast(t)
+		return
+	}
+	// Follower: the leader commits our work; wait for its broadcast.
+	// (A broadcast between the wait's unlock and its sleep is caught by
+	// the condvar's sequence check, so no wakeup is lost.)
+	s.cond.Wait(t, s.q)
+	s.q.Unlock(t)
+}
+
+// buildFn generates the Definition.Build body for one cell: it
+// instantiates the spec's locks (pinned kinds keep their own factory,
+// the rest use the cell's axis factory) and spawns every group's
+// threads running the compiled loop.
+func (c *Compiled) buildFn(axisThreads int, axisCS int64) func(*systems.Runner, workload.LockFactory) {
+	return func(r *systems.Runner, f workload.LockFactory) {
+		insts := make([]lockInst, len(c.Spec.Locks))
+		for i, ls := range c.Spec.Locks {
+			mk := f
+			if c.pinned[i] != nil {
+				mk = c.pinned[i]
+			}
+			switch ls.Topology {
+			case TopoSingle:
+				insts[i] = singleInst{l: mk(r.M)}
+			case TopoStriped:
+				n := ls.Stripes
+				if n == 0 {
+					n = defaultStripes
+				}
+				arr := make([]core.Lock, n)
+				for j := range arr {
+					arr[j] = mk(r.M)
+				}
+				insts[i] = stripedInst{ls: arr}
+			case TopoRW:
+				insts[i] = rwInst{rw: core.NewRWLock(r.M, mk(r.M), machine.WaitMbar)}
+			case TopoCondQueue:
+				insts[i] = condQueueInst{q: mk(r.M), cond: core.NewCond(r.M), queued: new(int)}
+			default:
+				panic(fmt.Sprintf("scenario %s: unvalidated topology %q", c.Spec.Name, ls.Topology))
+			}
+		}
+		tid := 0
+		for gi := range c.Spec.Groups {
+			g := &c.Spec.Groups[gi]
+			n := g.Threads
+			if n == 0 {
+				n = axisThreads
+			}
+			for i := 0; i < n; i++ {
+				rng := r.RNG(tid)
+				tid++
+				r.M.Spawn(g.Name, func(t *machine.Thread) {
+					c.groupLoop(r, t, rng, g, insts, axisCS)
+				})
+			}
+		}
+	}
+}
+
+// groupLoop is one thread's compiled iteration loop: pick a body
+// (weighted choice or the unconditional ops), run its steps, note the
+// completed operation, then the outside work and any periodic blocking.
+func (c *Compiled) groupLoop(r *systems.Runner, t *machine.Thread, rng *rand.Rand,
+	g *GroupSpec, insts []lockInst, axisCS int64) {
+	total := 0
+	for _, ch := range g.Choices {
+		total += ch.Weight
+	}
+	iter := 0
+	for r.Running(t) {
+		start := t.Proc().Now()
+		ops := g.Ops
+		if total > 0 {
+			d := rng.Intn(total)
+			for i := range g.Choices {
+				if d < g.Choices[i].Weight {
+					ops = g.Choices[i].Ops
+					break
+				}
+				d -= g.Choices[i].Weight
+			}
+		}
+		for oi := range ops {
+			c.runOp(t, rng, &ops[oi], insts, axisCS)
+		}
+		r.Note(t, start)
+		if g.OutsideCycles > 0 {
+			t.Compute(sim.Cycles(g.OutsideCycles))
+		}
+		iter++
+		if g.BlockEvery > 0 && iter%g.BlockEvery == 0 {
+			systems.Block(t, sim.Cycles(g.BlockCycles))
+		}
+	}
+}
+
+// runOp executes one loop step.
+func (c *Compiled) runOp(t *machine.Thread, rng *rand.Rand, op *OpSpec, insts []lockInst, axisCS int64) {
+	rep := op.Repeat
+	if rep == 0 {
+		rep = 1
+	}
+	for k := 0; k < rep; k++ {
+		switch {
+		case op.ComputeCycles > 0:
+			t.Compute(sim.Cycles(op.ComputeCycles))
+		case op.BlockCycles > 0:
+			systems.Block(t, sim.Cycles(op.BlockCycles))
+		default:
+			name := op.Lock
+			if len(op.Locks) > 0 {
+				name = op.Locks[rng.Intn(len(op.Locks))]
+			}
+			cs := op.CSCycles
+			if cs == 0 {
+				cs = axisCS
+			}
+			insts[c.lockIndex[name]].access(t, rng, op.Mode == "read", sim.Cycles(cs))
+		}
+	}
+}

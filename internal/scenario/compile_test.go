@@ -1,0 +1,232 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lockin/internal/core"
+	"lockin/internal/experiments"
+	"lockin/internal/metrics"
+	"lockin/internal/results"
+	"lockin/internal/systems"
+	"lockin/internal/workload"
+)
+
+// bundled returns one compiled bundled scenario by name.
+func bundled(t *testing.T, name string) *Compiled {
+	t.Helper()
+	cs, err := Bundled()
+	if err != nil {
+		t.Fatalf("bundle: %v", err)
+	}
+	for _, c := range cs {
+		if c.Spec.Name == name {
+			return c
+		}
+	}
+	t.Fatalf("no bundled scenario %q", name)
+	return nil
+}
+
+func TestBundledRegistered(t *testing.T) {
+	cs, err := Bundled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) < 6 {
+		t.Fatalf("bundle has %d scenarios, want at least 6", len(cs))
+	}
+	for _, c := range cs {
+		e, err := experiments.Find(c.ID())
+		if err != nil {
+			t.Fatalf("bundled scenario not registered: %v", err)
+		}
+		if e.SpecHash != c.Hash {
+			t.Fatalf("%s: registered hash %s, compiled hash %s", c.ID(), e.SpecHash, c.Hash)
+		}
+	}
+}
+
+// handTable runs the given hand-coded §6 definitions through the same
+// grid (def-major, lock-minor, identical cell seeds) and renders them
+// with the scenario row formula, cloning title/header/notes from the
+// scenario table so results.Diff pairs them up.
+func handTable(t *testing.T, o experiments.Options, like *metrics.Table,
+	defs []systems.Definition, css []int64, kinds []core.Kind) *metrics.Table {
+	t.Helper()
+	var jobs []systems.Job
+	for _, d := range defs {
+		for _, k := range kinds {
+			jobs = append(jobs, systems.Job{
+				Def: d, Factory: workload.FactoryFor(k),
+				Warmup: o.Window(300_000), Duration: o.Window(10_000_000),
+			})
+		}
+	}
+	res := systems.RunJobs(o.SweepOptions(), jobs)
+	want := metrics.NewTable(like.Title, like.Header...)
+	i := 0
+	for di, d := range defs {
+		for _, k := range kinds {
+			r := res[i]
+			i++
+			want.AddRow(d.Threads, css[di], k.String(),
+				r.Throughput()/1e3, r.TPP()/1e3,
+				float64(r.Latency.Percentile(0.99))/1e3)
+		}
+	}
+	for _, n := range like.Notes {
+		want.AddNote("%s", n)
+	}
+	return want
+}
+
+// TestKyotoSpecReproducesHandCodedProfile is the subsystem's
+// acceptance test: the bundled kyoto spec must reproduce the
+// hand-coded systems.Kyoto() profile — same table structure, every
+// value within the results.Diff default tolerance (exact), and the
+// rendered tables byte-identical — proving the compiler lowers a spec
+// onto exactly the primitives the Go profile uses.
+func TestKyotoSpecReproducesHandCodedProfile(t *testing.T) {
+	o := experiments.Options{Seed: 42, Scale: 0.5, Workers: 4}
+	got := bundled(t, "kyoto").Run(o)
+	if len(got) != 1 {
+		t.Fatalf("kyoto produced %d tables, want 1", len(got))
+	}
+	kinds := []core.Kind{core.KindMutex, core.KindTicket, core.KindMutexee}
+	want := handTable(t, o, got[0], systems.Kyoto(), []int64{3200, 3600, 4500}, kinds)
+
+	rep := results.Diff(
+		&results.Run{Tables: []*metrics.Table{want}},
+		&results.Run{Tables: got},
+		results.Tolerance{})
+	if !rep.Empty() {
+		t.Fatalf("spec-compiled kyoto differs from the hand-coded profile:\n%s", rep)
+	}
+	if want.String() != got[0].String() {
+		t.Fatalf("rendered tables differ:\n--- hand-coded ---\n%s--- compiled ---\n%s", want, got[0])
+	}
+}
+
+// TestHamsterDBSpecReproducesHandCodedProfile pins the reader-writer
+// topology and weighted read/write choices to the hand-coded
+// HamsterDB RD profile, including its RNG draw sequence.
+func TestHamsterDBSpecReproducesHandCodedProfile(t *testing.T) {
+	o := experiments.Options{Seed: 7, Scale: 0.5, Workers: 4}
+	got := bundled(t, "hamsterdb_rd").Run(o)
+	kinds := []core.Kind{core.KindMutex, core.KindTicket, core.KindMutexee}
+	want := handTable(t, o, got[0], systems.HamsterDB()[2:3], []int64{0}, kinds)
+	if want.String() != got[0].String() {
+		t.Fatalf("rendered tables differ:\n--- hand-coded ---\n%s--- compiled ---\n%s", want, got[0])
+	}
+}
+
+// TestWorkersInvariance reruns the most entangled bundled scenario
+// (condvar queue, blocking producers, two groups) serial vs parallel:
+// the sweep determinism contract must hold for compiled scenarios too.
+func TestWorkersInvariance(t *testing.T) {
+	c := bundled(t, "condpipe")
+	base := experiments.Options{Seed: 42, Scale: 0.25, Quick: true}
+	serial, parallel := base, base
+	serial.Workers, parallel.Workers = 1, 8
+	a, b := c.Run(serial), c.Run(parallel)
+	if a[0].String() != b[0].String() {
+		t.Fatalf("workers changed scenario output:\n--- serial ---\n%s--- parallel ---\n%s", a[0], b[0])
+	}
+}
+
+// TestShardMergeRoundTrip shards a bundled scenario two ways, merges
+// the stored runs, and requires the byte-identical file an unsharded
+// run saves — the scenario half of the store's sharding contract.
+func TestShardMergeRoundTrip(t *testing.T) {
+	c := bundled(t, "memcached")
+	o := experiments.Options{Seed: 42, Scale: 0.25, Workers: 4}
+	mkRun := func(o experiments.Options) *results.Run {
+		return &results.Run{
+			Meta: results.Meta{
+				Experiment: c.ID(), Seed: o.Seed, Scale: o.Scale, Quick: o.Quick,
+				ShardIndex: o.ShardIndex, ShardCount: o.ShardCount,
+				SpecHash: c.Hash, Version: "test",
+			},
+			Tables: c.Run(o),
+		}
+	}
+	full := mkRun(o)
+	var shards []*results.Run
+	for s := 0; s < 2; s++ {
+		so := o
+		so.ShardIndex, so.ShardCount = s, 2
+		shards = append(shards, mkRun(so))
+	}
+	merged, err := results.Merge(shards[0], shards[1])
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if merged.Meta.SpecHash != c.Hash {
+		t.Fatalf("merge dropped the spec hash: %q", merged.Meta.SpecHash)
+	}
+
+	dir := t.TempDir()
+	fullPath, err := results.Save(filepath.Join(dir, "full"), full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedPath, err := results.Save(filepath.Join(dir, "merged"), merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := os.ReadFile(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := os.ReadFile(mergedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fb) != string(mb) {
+		t.Fatalf("merged store file differs from unsharded:\n--- unsharded %s ---\n%s--- merged %s ---\n%s",
+			fullPath, fb, mergedPath, mb)
+	}
+}
+
+// TestShardSpecRevisionRefused: shards from different spec revisions
+// must not merge.
+func TestShardSpecRevisionRefused(t *testing.T) {
+	c := bundled(t, "kyoto")
+	o := experiments.Options{Seed: 42, Scale: 0.25, Quick: true}
+	mk := func(idx int, hash string) *results.Run {
+		so := o
+		so.ShardIndex, so.ShardCount = idx, 2
+		return &results.Run{
+			Meta: results.Meta{
+				Experiment: c.ID(), Seed: o.Seed, Scale: o.Scale, Quick: o.Quick,
+				ShardIndex: idx, ShardCount: 2, SpecHash: hash, Version: "test",
+			},
+			Tables: c.Run(so),
+		}
+	}
+	if _, err := results.Merge(mk(0, c.Hash), mk(1, "deadbeef0000")); err == nil {
+		t.Fatal("merge of shards from different spec revisions succeeded")
+	}
+}
+
+// TestOversubscribedScenario sanity-checks the 2x-oversubscription
+// bundle: more software threads than the Xeon's 40 contexts must run
+// (through the simulated OS scheduler) and produce non-zero throughput.
+func TestOversubscribedScenario(t *testing.T) {
+	c := bundled(t, "memcached_2x")
+	if got := c.totalThreads(0); got != 80 {
+		t.Fatalf("memcached_2x resolves %d threads, want 80", got)
+	}
+	o := experiments.Options{Seed: 42, Scale: 0.1, Quick: true, Workers: 4}
+	tab := c.Run(o)[0]
+	if tab.NumRows() == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tab.Cells() {
+		if thr, ok := row[3].Num(); !ok || thr <= 0 {
+			t.Fatalf("oversubscribed cell has non-positive throughput: %v", row[3].Text())
+		}
+	}
+}

@@ -1,0 +1,435 @@
+// Package scenario is the declarative workload subsystem: a JSON spec
+// describes a lock workload — thread groups, lock topology (single hot
+// lock, striped array, reader-writer wrapper, condvar queue), per-group
+// loops with weighted alternatives, machine configuration and a sweep
+// axis (threads × critical-section × lock-kind grids) — and the compiler
+// lowers it onto the existing machine/systems/workload primitives as a
+// first-class experiments.Experiment. Compiled scenarios run through
+// internal/sweep (parallel workers, multi-process sharding) and persist
+// through internal/results exactly like the hand-coded paper figures,
+// so opening a new contention pattern means writing a spec file, not a
+// Go package.
+package scenario
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"regexp"
+
+	"lockin/internal/workload"
+)
+
+// Lock topologies a spec can declare.
+const (
+	// TopoSingle is one lock instance guarding one resource.
+	TopoSingle = "single"
+	// TopoStriped is an array of lock instances; each access picks one
+	// uniformly (Memcached's hash-bucket locks).
+	TopoStriped = "striped"
+	// TopoRW wraps the lock in the reader-writer layer; ops choose
+	// shared or exclusive mode (HamsterDB's environment lock).
+	TopoRW = "rw"
+	// TopoCondQueue is a leader/follower write queue built from the lock
+	// plus a condition variable: the first thread in batches the work
+	// for every waiter (RocksDB's write path).
+	TopoCondQueue = "condqueue"
+)
+
+// Spec is the top-level declarative scenario description.
+type Spec struct {
+	// Name identifies the scenario; the compiled experiment registers as
+	// "scenario:<name>". Lowercase letters, digits, '-' and '_' only.
+	Name string `json:"name"`
+	// Title overrides the rendered table title (default "scenario <name>").
+	Title string `json:"title,omitempty"`
+	// Description is shown by lockbench -list next to the experiment id.
+	Description string `json:"description,omitempty"`
+	// Machine selects the simulated machine (default: the Xeon).
+	Machine MachineSpec `json:"machine,omitempty"`
+	// WarmupCycles is the window warm-up (default 300000). Options.Scale
+	// multiplies it like every experiment window.
+	WarmupCycles int64 `json:"warmup_cycles,omitempty"`
+	// DurationCycles is the measurement window (default 10000000).
+	DurationCycles int64 `json:"duration_cycles,omitempty"`
+	// Locks declares the lock topology the groups contend on.
+	Locks []LockSpec `json:"locks"`
+	// Groups declares the thread groups and their operation loops.
+	Groups []GroupSpec `json:"groups"`
+	// Sweep declares the experiment grid axes; one table row per cell.
+	Sweep SweepSpec `json:"sweep,omitempty"`
+}
+
+// MachineSpec selects the simulated hardware.
+type MachineSpec struct {
+	// Topology is "xeon" (2×10×2, default) or "corei7" (1×4×2). Thread
+	// groups exceeding the topology's hardware contexts oversubscribe
+	// the machine through the simulated OS scheduler.
+	Topology string `json:"topology,omitempty"`
+}
+
+// LockSpec declares one named lock the groups reference.
+type LockSpec struct {
+	Name string `json:"name"`
+	// Topology is one of single, striped, rw, condqueue.
+	Topology string `json:"topology"`
+	// Stripes sizes a striped array (default 16; striped only).
+	Stripes int `json:"stripes,omitempty"`
+	// Kind pins the lock algorithm (e.g. "MUTEX", "TICKET", "MUTEXEE",
+	// "TAS", "TTAS", "MCS", "CLH", "TAS-BO", "HTICKET", "MWAIT").
+	// Empty means the lock follows the sweep's lock-kind axis.
+	Kind string `json:"kind,omitempty"`
+}
+
+// GroupSpec declares one group of identical threads and their loop:
+// each iteration runs the ops (or one weighted choice), then the
+// outside work, and counts as one operation in the scenario's
+// throughput/latency measurement.
+type GroupSpec struct {
+	Name string `json:"name,omitempty"`
+	// Threads is the group's thread count; 0 means "take the value of
+	// the sweep's threads axis".
+	Threads int `json:"threads"`
+	// OutsideCycles is non-critical work after each iteration.
+	OutsideCycles int64 `json:"outside_cycles,omitempty"`
+	// BlockEvery/BlockCycles model periodic blocking I/O: every
+	// BlockEvery iterations the thread deschedules for BlockCycles,
+	// releasing its hardware context (bursty producers, SSD reads).
+	BlockEvery  int   `json:"block_every,omitempty"`
+	BlockCycles int64 `json:"block_cycles,omitempty"`
+	// Ops is the unconditional loop body. Exactly one of Ops/Choices.
+	Ops []OpSpec `json:"ops,omitempty"`
+	// Choices are weighted alternative bodies; each iteration draws one
+	// (read/write mixes, GET/SET ratios).
+	Choices []ChoiceSpec `json:"choices,omitempty"`
+}
+
+// ChoiceSpec is one weighted alternative loop body.
+type ChoiceSpec struct {
+	Weight int      `json:"weight"`
+	Ops    []OpSpec `json:"ops"`
+}
+
+// OpSpec is one step of a loop body: a critical section on a named
+// lock, plain computation, or a blocking span. Exactly one of
+// Lock/Locks, ComputeCycles, BlockCycles must be set.
+type OpSpec struct {
+	// Lock names the lock to acquire; Locks lists several to pick from
+	// uniformly per iteration (SQLite's db-or-WAL accesses).
+	Lock  string   `json:"lock,omitempty"`
+	Locks []string `json:"locks,omitempty"`
+	// Mode is "write" (default) or "read" (rw locks only).
+	Mode string `json:"mode,omitempty"`
+	// CSCycles is the critical-section length; 0 means "take the value
+	// of the sweep's cs axis".
+	CSCycles int64 `json:"cs_cycles,omitempty"`
+	// Repeat runs the step several times per iteration (default 1).
+	Repeat int `json:"repeat,omitempty"`
+	// ComputeCycles is lock-free computation (request parsing, planning).
+	ComputeCycles int64 `json:"compute_cycles,omitempty"`
+	// BlockCycles deschedules the thread mid-iteration (blocking I/O).
+	BlockCycles int64 `json:"block_cycles,omitempty"`
+}
+
+// SweepSpec declares the experiment grid. The cross product of the
+// axes, in threads-major, cs-middle, lock-minor order, is the cell
+// grid; every cell simulates on its own machine with a stable
+// index-derived seed, so scenarios shard and parallelize like the
+// built-in figures.
+type SweepSpec struct {
+	// Locks is the lock-kind axis applied to every lock without a
+	// pinned Kind (default ["MUTEX"]).
+	Locks []string `json:"locks,omitempty"`
+	// Threads is the thread-count axis filling groups with threads: 0.
+	Threads []int `json:"threads,omitempty"`
+	// CS is the critical-section axis filling lock ops with cs_cycles 0.
+	CS []int64 `json:"cs,omitempty"`
+}
+
+// Defaults applied by Parse/Compile.
+const (
+	defaultWarmup   = 300_000
+	defaultDuration = 10_000_000
+	defaultStripes  = 16
+	maxThreads      = 4096
+)
+
+var nameRE = regexp.MustCompile(`^[a-z0-9][a-z0-9_-]*$`)
+
+// Parse decodes and validates a spec from JSON. Unknown fields are
+// rejected, so typos surface as errors instead of silently ignored
+// knobs. Malformed input returns an error; it never panics.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: parse spec: %w", err)
+	}
+	// Trailing garbage after the spec object is a malformed file too.
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: parse spec: trailing data after spec object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Hash returns the spec's content hash: 12 hex digits of the SHA-256
+// of its canonical (re-marshalled) JSON with the cosmetic fields
+// (title, description) zeroed — formatting-only and doc-only edits
+// keep the hash; any change to the measured workload moves it. The
+// hash is recorded in results.Meta.SpecHash and diffs refuse to
+// compare runs of different spec revisions, so a doc typo fix must
+// not invalidate an hours-long stored baseline.
+func (s *Spec) Hash() string {
+	c := *s
+	c.Title, c.Description = "", ""
+	b, err := json.Marshal(c)
+	if err != nil {
+		// A parsed Spec is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("scenario: hash %s: %v", s.Name, err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:6])
+}
+
+// Validate checks the spec's structural invariants and reports the
+// first violation with enough context to fix the file.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: spec needs a name")
+	}
+	if !nameRE.MatchString(s.Name) {
+		return fmt.Errorf("scenario %s: name must match %s", s.Name, nameRE)
+	}
+	switch s.Machine.Topology {
+	case "", "xeon", "corei7":
+	default:
+		return fmt.Errorf("scenario %s: unknown machine topology %q (want xeon or corei7)", s.Name, s.Machine.Topology)
+	}
+	if s.WarmupCycles < 0 || s.DurationCycles < 0 {
+		return fmt.Errorf("scenario %s: warmup_cycles/duration_cycles must be non-negative", s.Name)
+	}
+	if err := s.validateSweep(); err != nil {
+		return err
+	}
+	locks, err := s.validateLocks()
+	if err != nil {
+		return err
+	}
+	if len(s.Groups) == 0 {
+		return fmt.Errorf("scenario %s: needs at least one group", s.Name)
+	}
+	usesThreadsAxis, usesCSAxis := false, false
+	for gi := range s.Groups {
+		g := &s.Groups[gi]
+		gname := g.Name
+		if gname == "" {
+			gname = fmt.Sprintf("group %d", gi)
+		}
+		switch {
+		case g.Threads < 0:
+			return fmt.Errorf("scenario %s: %s: negative thread count %d", s.Name, gname, g.Threads)
+		case g.Threads == 0 && len(s.Sweep.Threads) == 0:
+			return fmt.Errorf("scenario %s: %s: zero threads (set threads, or declare a sweep.threads axis for it to follow)", s.Name, gname)
+		case g.Threads > maxThreads:
+			return fmt.Errorf("scenario %s: %s: %d threads exceeds the %d-thread limit", s.Name, gname, g.Threads, maxThreads)
+		}
+		if g.Threads == 0 {
+			usesThreadsAxis = true
+		}
+		if g.OutsideCycles < 0 {
+			return fmt.Errorf("scenario %s: %s: negative outside_cycles", s.Name, gname)
+		}
+		if g.BlockEvery < 0 || g.BlockCycles < 0 {
+			return fmt.Errorf("scenario %s: %s: negative block_every/block_cycles", s.Name, gname)
+		}
+		if (g.BlockEvery > 0) != (g.BlockCycles > 0) {
+			return fmt.Errorf("scenario %s: %s: block_every and block_cycles go together", s.Name, gname)
+		}
+		bodies := [][]OpSpec{g.Ops}
+		switch {
+		case len(g.Ops) > 0 && len(g.Choices) > 0:
+			return fmt.Errorf("scenario %s: %s: declare ops or choices, not both", s.Name, gname)
+		case len(g.Ops) == 0 && len(g.Choices) == 0:
+			return fmt.Errorf("scenario %s: %s: needs ops or choices", s.Name, gname)
+		case len(g.Choices) > 0:
+			bodies = bodies[:0]
+			for ci, ch := range g.Choices {
+				if ch.Weight <= 0 {
+					return fmt.Errorf("scenario %s: %s: choice %d needs a positive weight", s.Name, gname, ci)
+				}
+				if len(ch.Ops) == 0 {
+					return fmt.Errorf("scenario %s: %s: choice %d has no ops", s.Name, gname, ci)
+				}
+				bodies = append(bodies, ch.Ops)
+			}
+		}
+		for _, ops := range bodies {
+			for oi, op := range ops {
+				usedCS, err := s.validateOp(gname, oi, op, locks)
+				if err != nil {
+					return err
+				}
+				usesCSAxis = usesCSAxis || usedCS
+			}
+		}
+	}
+	if len(s.Sweep.Threads) > 0 && !usesThreadsAxis {
+		return fmt.Errorf("scenario %s: sweep.threads axis has no effect: every group pins its thread count", s.Name)
+	}
+	if len(s.Sweep.CS) > 0 && !usesCSAxis {
+		return fmt.Errorf("scenario %s: sweep.cs axis has no effect: every lock op pins cs_cycles", s.Name)
+	}
+	if len(s.Sweep.Locks) > 1 {
+		swept := false
+		for _, l := range s.Locks {
+			if l.Kind == "" {
+				swept = true
+			}
+		}
+		if !swept {
+			return fmt.Errorf("scenario %s: sweep.locks axis overlaps the pinned lock kinds: every lock pins its kind, so the axis has no effect", s.Name)
+		}
+	}
+	return nil
+}
+
+func (s *Spec) validateLocks() (map[string]LockSpec, error) {
+	if len(s.Locks) == 0 {
+		return nil, fmt.Errorf("scenario %s: needs at least one lock", s.Name)
+	}
+	locks := make(map[string]LockSpec, len(s.Locks))
+	for _, l := range s.Locks {
+		if l.Name == "" {
+			return nil, fmt.Errorf("scenario %s: every lock needs a name", s.Name)
+		}
+		if _, dup := locks[l.Name]; dup {
+			return nil, fmt.Errorf("scenario %s: duplicate lock %q", s.Name, l.Name)
+		}
+		switch l.Topology {
+		case TopoSingle, TopoStriped, TopoRW, TopoCondQueue:
+		default:
+			return nil, fmt.Errorf("scenario %s: lock %s: unknown topology %q (want %s, %s, %s or %s)",
+				s.Name, l.Name, l.Topology, TopoSingle, TopoStriped, TopoRW, TopoCondQueue)
+		}
+		if l.Stripes != 0 && l.Topology != TopoStriped {
+			return nil, fmt.Errorf("scenario %s: lock %s: stripes only applies to the %s topology", s.Name, l.Name, TopoStriped)
+		}
+		if l.Stripes < 0 || (l.Topology == TopoStriped && l.Stripes == 1) {
+			return nil, fmt.Errorf("scenario %s: lock %s: a striped lock needs at least 2 stripes", s.Name, l.Name)
+		}
+		if l.Kind != "" {
+			if _, err := workload.FactoryNamed(l.Kind); err != nil {
+				return nil, fmt.Errorf("scenario %s: lock %s: %w", s.Name, l.Name, err)
+			}
+		}
+		locks[l.Name] = l
+	}
+	return locks, nil
+}
+
+// validateOp checks one loop step and reports whether it consumes the
+// sweep's cs axis.
+func (s *Spec) validateOp(gname string, oi int, op OpSpec, locks map[string]LockSpec) (usesCSAxis bool, err error) {
+	kinds := 0
+	if op.Lock != "" || len(op.Locks) > 0 {
+		kinds++
+	}
+	if op.ComputeCycles != 0 {
+		kinds++
+	}
+	if op.BlockCycles != 0 {
+		kinds++
+	}
+	if kinds != 1 {
+		return false, fmt.Errorf("scenario %s: %s: op %d must set exactly one of lock/locks, compute_cycles, block_cycles", s.Name, gname, oi)
+	}
+	if op.Repeat < 0 {
+		return false, fmt.Errorf("scenario %s: %s: op %d: negative repeat", s.Name, gname, oi)
+	}
+	if op.ComputeCycles != 0 || op.BlockCycles != 0 {
+		if op.ComputeCycles < 0 || op.BlockCycles < 0 {
+			return false, fmt.Errorf("scenario %s: %s: op %d: negative cycle count", s.Name, gname, oi)
+		}
+		if op.Mode != "" || op.CSCycles != 0 {
+			return false, fmt.Errorf("scenario %s: %s: op %d: mode/cs_cycles only apply to lock ops", s.Name, gname, oi)
+		}
+		return false, nil
+	}
+	targets := op.Locks
+	if op.Lock != "" {
+		if len(op.Locks) > 0 {
+			return false, fmt.Errorf("scenario %s: %s: op %d: set lock or locks, not both", s.Name, gname, oi)
+		}
+		targets = []string{op.Lock}
+	}
+	for _, name := range targets {
+		l, ok := locks[name]
+		if !ok {
+			return false, fmt.Errorf("scenario %s: %s: op %d references undeclared lock %q", s.Name, gname, oi, name)
+		}
+		switch op.Mode {
+		case "", "write":
+		case "read":
+			if l.Topology != TopoRW {
+				return false, fmt.Errorf("scenario %s: %s: op %d: read mode needs an %s lock, %s is %s", s.Name, gname, oi, TopoRW, name, l.Topology)
+			}
+		default:
+			return false, fmt.Errorf("scenario %s: %s: op %d: unknown mode %q (want read or write)", s.Name, gname, oi, op.Mode)
+		}
+	}
+	if op.CSCycles < 0 {
+		return false, fmt.Errorf("scenario %s: %s: op %d: negative cs_cycles", s.Name, gname, oi)
+	}
+	if op.CSCycles == 0 {
+		if len(s.Sweep.CS) == 0 {
+			return false, fmt.Errorf("scenario %s: %s: op %d: needs cs_cycles, or a sweep.cs axis for it to follow", s.Name, gname, oi)
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+func (s *Spec) validateSweep() error {
+	if err := uniqueAxis(s.Name, "locks", s.Sweep.Locks, func(k string) error {
+		_, err := workload.FactoryNamed(k)
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := uniqueAxis(s.Name, "threads", s.Sweep.Threads, func(n int) error {
+		if n < 1 || n > maxThreads {
+			return fmt.Errorf("thread count %d out of range [1, %d]", n, maxThreads)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	return uniqueAxis(s.Name, "cs", s.Sweep.CS, func(c int64) error {
+		if c < 1 {
+			return fmt.Errorf("critical section %d must be positive", c)
+		}
+		return nil
+	})
+}
+
+// uniqueAxis rejects overlapping (duplicate) values within one sweep
+// axis and applies the per-value check.
+func uniqueAxis[T comparable](spec, axis string, vals []T, check func(T) error) error {
+	seen := make(map[T]bool, len(vals))
+	for _, v := range vals {
+		if seen[v] {
+			return fmt.Errorf("scenario %s: sweep.%s axis has overlapping values: %v appears twice", spec, axis, v)
+		}
+		seen[v] = true
+		if err := check(v); err != nil {
+			return fmt.Errorf("scenario %s: sweep.%s axis: %w", spec, axis, err)
+		}
+	}
+	return nil
+}

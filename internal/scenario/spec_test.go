@@ -1,0 +1,186 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// validSpec is a minimal correct spec the error cases below mutate.
+const validSpec = `{
+  "name": "t",
+  "locks": [{"name": "l", "topology": "single"}],
+  "groups": [{"name": "g", "threads": 2, "ops": [{"lock": "l", "cs_cycles": 100}]}]
+}`
+
+func TestParseValid(t *testing.T) {
+	s, err := Parse([]byte(validSpec))
+	if err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if s.Name != "t" || len(s.Locks) != 1 || len(s.Groups) != 1 {
+		t.Fatalf("parsed spec mangled: %+v", s)
+	}
+	if h := s.Hash(); len(h) != 12 {
+		t.Fatalf("hash %q: want 12 hex digits", h)
+	}
+}
+
+func TestHashTracksSemanticsNotFormatting(t *testing.T) {
+	a, err := Parse([]byte(validSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reformatted but semantically identical.
+	b, err := Parse([]byte(strings.ReplaceAll(validSpec, "\n", " ")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatalf("formatting-only change moved the hash: %s vs %s", a.Hash(), b.Hash())
+	}
+	c, err := Parse([]byte(strings.ReplaceAll(validSpec, `"cs_cycles": 100`, `"cs_cycles": 200`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() == c.Hash() {
+		t.Fatalf("semantic change kept the hash %s", a.Hash())
+	}
+	// Doc-only edits must not invalidate stored baselines.
+	d, err := Parse([]byte(`{"title": "T", "description": "D", ` + validSpec[1:]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() != d.Hash() {
+		t.Fatalf("doc-only change moved the hash: %s vs %s", a.Hash(), d.Hash())
+	}
+}
+
+// withSweep splices a sweep clause into a spec document just before
+// its closing brace.
+func withSweep(spec, sweep string) string {
+	i := strings.LastIndex(spec, "}")
+	return spec[:i] + `, "sweep": ` + sweep + "}"
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string // substring of the error
+	}{
+		{"not json", `lock it all`, "parse spec"},
+		{"trailing garbage", validSpec + ` {"x": 1}`, "trailing data"},
+		{"unknown field", `{"name": "t", "warp_cycles": 3}`, "unknown field"},
+		{"missing name", `{"locks": [{"name": "l", "topology": "single"}]}`, "needs a name"},
+		{"bad name", strings.ReplaceAll(validSpec, `"name": "t"`, `"name": "T T"`), "name must match"},
+		{"unknown machine", strings.ReplaceAll(validSpec, `"name": "t",`, `"name": "t", "machine": {"topology": "sparc"},`), "unknown machine topology"},
+		{"no locks", `{"name": "t", "groups": [{"threads": 1, "ops": [{"compute_cycles": 5}]}]}`, "at least one lock"},
+		{"unknown lock topology",
+			strings.ReplaceAll(validSpec, `"topology": "single"`, `"topology": "elevator"`),
+			`unknown topology "elevator"`},
+		{"duplicate lock",
+			strings.ReplaceAll(validSpec, `{"name": "l", "topology": "single"}`,
+				`{"name": "l", "topology": "single"}, {"name": "l", "topology": "single"}`),
+			"duplicate lock"},
+		{"stripes on single",
+			strings.ReplaceAll(validSpec, `"topology": "single"`, `"topology": "single", "stripes": 4`),
+			"stripes only applies"},
+		{"one stripe",
+			strings.ReplaceAll(validSpec, `"topology": "single"`, `"topology": "striped", "stripes": 1`),
+			"at least 2 stripes"},
+		{"unknown pinned kind",
+			strings.ReplaceAll(validSpec, `"topology": "single"`, `"topology": "single", "kind": "BIGLOCK"`),
+			"unknown lock kind"},
+		{"no groups", `{"name": "t", "locks": [{"name": "l", "topology": "single"}], "groups": []}`, "at least one group"},
+		{"zero threads", strings.ReplaceAll(validSpec, `"threads": 2`, `"threads": 0`), "zero threads"},
+		{"negative threads", strings.ReplaceAll(validSpec, `"threads": 2`, `"threads": -3`), "negative thread count"},
+		{"ops and choices",
+			strings.ReplaceAll(validSpec, `"ops": [{"lock": "l", "cs_cycles": 100}]`,
+				`"ops": [{"lock": "l", "cs_cycles": 100}], "choices": [{"weight": 1, "ops": [{"lock": "l", "cs_cycles": 100}]}]`),
+			"not both"},
+		{"empty body", strings.ReplaceAll(validSpec, `"ops": [{"lock": "l", "cs_cycles": 100}]`, `"ops": []`), "needs ops or choices"},
+		{"zero-weight choice",
+			strings.ReplaceAll(validSpec, `"ops": [{"lock": "l", "cs_cycles": 100}]`,
+				`"choices": [{"weight": 0, "ops": [{"lock": "l", "cs_cycles": 100}]}]`),
+			"positive weight"},
+		{"undeclared lock", strings.ReplaceAll(validSpec, `{"lock": "l",`, `{"lock": "m",`), `undeclared lock "m"`},
+		{"read on single lock",
+			strings.ReplaceAll(validSpec, `"cs_cycles": 100`, `"cs_cycles": 100, "mode": "read"`),
+			"read mode needs an rw lock"},
+		{"unknown mode",
+			strings.ReplaceAll(validSpec, `"cs_cycles": 100`, `"cs_cycles": 100, "mode": "shared"`),
+			"unknown mode"},
+		{"negative cs", strings.ReplaceAll(validSpec, `"cs_cycles": 100`, `"cs_cycles": -1`), "negative cs_cycles"},
+		{"cs without axis", strings.ReplaceAll(validSpec, `"cs_cycles": 100`, `"cs_cycles": 0`), "needs cs_cycles"},
+		{"op with two kinds",
+			strings.ReplaceAll(validSpec, `"cs_cycles": 100`, `"cs_cycles": 100, "compute_cycles": 5`),
+			"exactly one of"},
+		{"block_every without cycles",
+			strings.ReplaceAll(validSpec, `"threads": 2,`, `"threads": 2, "block_every": 5,`),
+			"go together"},
+		{"overlapping threads axis",
+			withSweep(strings.ReplaceAll(validSpec, `"threads": 2`, `"threads": 0`), `{"threads": [4, 4]}`),
+			"overlapping values"},
+		{"overlapping cs axis",
+			withSweep(strings.ReplaceAll(validSpec, `"cs_cycles": 100`, `"cs_cycles": 0`), `{"cs": [800, 800]}`),
+			"overlapping values"},
+		{"overlapping locks axis",
+			withSweep(validSpec, `{"locks": ["MUTEX", "MUTEX"]}`),
+			"overlapping values"},
+		{"unknown axis kind",
+			withSweep(validSpec, `{"locks": ["BIGLOCK"]}`),
+			"unknown lock kind"},
+		{"threads axis unused",
+			withSweep(validSpec, `{"threads": [2, 4]}`),
+			"sweep.threads axis has no effect"},
+		{"cs axis unused",
+			withSweep(validSpec, `{"cs": [100, 200]}`),
+			"sweep.cs axis has no effect"},
+		{"locks axis over pinned kinds",
+			withSweep(strings.ReplaceAll(validSpec, `"topology": "single"`, `"topology": "single", "kind": "TICKET"`),
+				`{"locks": ["MUTEX", "MUTEXEE"]}`),
+			"overlaps the pinned lock kinds"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.json))
+			if err == nil {
+				t.Fatalf("spec accepted, want error containing %q\nspec: %s", tc.want, tc.json)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// FuzzParse asserts the compiler front end never panics: arbitrary
+// bytes either parse (and then must compile and hash cleanly) or
+// return an error.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(validSpec))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[1, 2]`))
+	f.Add([]byte(`{"name": "x", "locks": null, "groups": 3}`))
+	f.Add([]byte(`{"name": "x", "sweep": {"threads": [-1]}}`))
+	if cs, err := Bundled(); err == nil {
+		for _, c := range cs {
+			if raw, err := BundledSpec(c.Spec.Name + ".json"); err == nil {
+				f.Add(raw)
+			}
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		c, err := Compile(s)
+		if err != nil {
+			t.Fatalf("spec passed Parse but failed Compile: %v", err)
+		}
+		if c.Hash == "" || c.ID() == "scenario:" {
+			t.Fatalf("compiled spec missing hash or id")
+		}
+	})
+}

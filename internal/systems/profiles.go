@@ -153,7 +153,7 @@ func MySQL() []Definition {
 							if ioEvery > 0 && n%ioEvery == 0 {
 								// SSD read: the thread blocks, freeing its context.
 								t.Compute(200)
-								blockFor(t, io)
+								Block(t, io)
 							}
 							r.Note(t, start)
 						}
@@ -166,16 +166,6 @@ func MySQL() []Definition {
 		mk("MEM", 64, 20_000, 0, 0),
 		mk("SSD", 64, 14_000, 2, 280_000), // ≈100 µs I/O at 2.8 GHz
 	}
-}
-
-// blockFor deschedules the thread for roughly d cycles, modelling
-// blocking I/O: the hardware context is released to the OS.
-func blockFor(t *machine.Thread, d sim.Cycles) {
-	th := t.Thread
-	s := th.Scheduler()
-	k := s.Kernel()
-	k.Schedule(d, func() { s.Unblock(th, 0) })
-	th.Block()
 }
 
 // RocksDB models the persistent store's in-memory benchmark: writers

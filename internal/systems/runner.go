@@ -161,6 +161,18 @@ func RunJobs(o sweep.Options, jobs []Job) []Result {
 	})
 }
 
+// Block deschedules the thread for roughly d cycles, modelling
+// blocking I/O: the hardware context is released to the OS until the
+// wakeup fires. Profiles and compiled scenarios use it for SSD reads
+// and bursty producers.
+func Block(t *machine.Thread, d sim.Cycles) {
+	th := t.Thread
+	s := th.Scheduler()
+	k := s.Kernel()
+	k.Schedule(d, func() { s.Unblock(th, 0) })
+	th.Block()
+}
+
 // lockedOp is the common "acquire, work, release, note" request body.
 func lockedOp(r *Runner, t *machine.Thread, l core.Lock, cs, outside sim.Cycles) {
 	start := t.Proc().Now()

@@ -36,6 +36,10 @@ import (
 	"lockin/internal/systems"
 	"lockin/internal/topo"
 	"lockin/internal/workload"
+
+	// Register the bundled declarative scenarios (scenario:*) so
+	// Experiments()/RunExperiment see them like the built-in figures.
+	_ "lockin/internal/scenario"
 )
 
 // Machine is a simulated multicore computer (see internal/machine).
