@@ -54,7 +54,9 @@ results:
 
 # The CI scenario gate: every bundled spec must parse and compile, a
 # quick scenario smoke-runs with a parallel-vs-serial output diff, and
-# a sharded run merges back byte-identical to an unsharded one.
+# a sharded run merges back byte-identical to an unsharded one — first
+# over the classic threads × lock grid, then over a multi-axis space
+# that includes a read-ratio axis.
 scenarios:
 	rm -rf /tmp/lockin-scen
 	$(GO) run ./cmd/lockbench -validate-scenarios
@@ -66,5 +68,13 @@ scenarios:
 	$(GO) run ./cmd/lockbench -scenario testdata/quick-scenario.json -shard 1/2 -json /tmp/lockin-scen/s1 > /dev/null
 	$(GO) run ./cmd/lockbench -scenario testdata/quick-scenario.json -merge /tmp/lockin-scen/s0,/tmp/lockin-scen/s1 -json /tmp/lockin-scen/merged -baseline /tmp/lockin-scen/full -diff
 	cmp /tmp/lockin-scen/full/scenario-quick.json /tmp/lockin-scen/merged/scenario-quick.json
+	$(GO) run ./cmd/lockbench -scenario testdata/multiaxis-scenario.json -workers 1 | sed '/done in/d' > /tmp/lockin-scen-ma-serial.txt
+	$(GO) run ./cmd/lockbench -scenario testdata/multiaxis-scenario.json -workers 8 | sed '/done in/d' > /tmp/lockin-scen-ma-parallel.txt
+	diff -u /tmp/lockin-scen-ma-serial.txt /tmp/lockin-scen-ma-parallel.txt
+	$(GO) run ./cmd/lockbench -scenario testdata/multiaxis-scenario.json -json /tmp/lockin-scen/ma-full > /dev/null
+	$(GO) run ./cmd/lockbench -scenario testdata/multiaxis-scenario.json -shard 0/2 -json /tmp/lockin-scen/ma-s0 > /dev/null
+	$(GO) run ./cmd/lockbench -scenario testdata/multiaxis-scenario.json -shard 1/2 -json /tmp/lockin-scen/ma-s1 > /dev/null
+	$(GO) run ./cmd/lockbench -scenario testdata/multiaxis-scenario.json -merge /tmp/lockin-scen/ma-s0,/tmp/lockin-scen/ma-s1 -json /tmp/lockin-scen/ma-merged -baseline /tmp/lockin-scen/ma-full -diff
+	cmp /tmp/lockin-scen/ma-full/scenario-multiaxis-quick.json /tmp/lockin-scen/ma-merged/scenario-multiaxis-quick.json
 
 ci: lint build test race smoke results scenarios bench

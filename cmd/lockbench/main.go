@@ -36,7 +36,9 @@
 // -scale lengthens every measurement window proportionally (1.0 = quick
 // defaults, tens of millions of cycles per point; the paper's 10-second
 // runs correspond to scale ≈ 1000 and take hours — store them with
-// -json and let CI diff quick runs against them with -baseline -tol).
+// -json and let CI diff quick runs against them with -baseline -tol,
+// plus -tol-cols for per-column overrides such as noisier percentile
+// columns: -tol-cols 'p95(Kcyc)=0.05').
 //
 // -workers fans the independent grid cells of each experiment out
 // across simulated machines in parallel (0 = one worker per CPU). The
@@ -46,6 +48,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -57,6 +60,7 @@ import (
 	"lockin/internal/metrics"
 	"lockin/internal/results"
 	"lockin/internal/scenario"
+	"lockin/internal/sweep"
 )
 
 func main() {
@@ -74,6 +78,7 @@ func main() {
 		baseline = flag.String("baseline", "", "results-store directory to diff this run against")
 		diffGate = flag.Bool("diff", false, "with -baseline: exit 1 when any difference survives the tolerance")
 		tol      = flag.Float64("tol", 0, "relative per-cell tolerance for -baseline comparisons (0 = exact)")
+		tolCols  = flag.String("tol-cols", "", "per-column tolerance overrides for -baseline, comma-separated name=rel (e.g. 'p95(Kcyc)=0.05,thr(Kacq/s)=0.02'); other columns use -tol")
 		shardArg = flag.String("shard", "", "run one shard of each grid, format i/n (e.g. 0/2)")
 		mergeArg = flag.String("merge", "", "comma-separated shard store dirs: merge stored shards instead of simulating")
 	)
@@ -162,6 +167,12 @@ func main() {
 	}
 
 	tolerance := results.Tolerance{Default: *tol}
+	if cols, err := parseTolCols(*tolCols); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	} else {
+		tolerance.Columns = cols
+	}
 	differs := false
 	for _, e := range todo {
 		var run *results.Run
@@ -186,6 +197,10 @@ func main() {
 			start := time.Now()
 			fmt.Printf("### %s — %s\n", e.ID, e.Title)
 			fmt.Printf("### paper: %s\n\n", e.Paper)
+			var axes []sweep.Axis
+			if e.Axes != nil {
+				axes = e.Axes(opts)
+			}
 			tables := e.Run(opts)
 			printTables(tables)
 			fmt.Printf("### %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
@@ -193,7 +208,7 @@ func main() {
 				Meta: results.Meta{
 					Experiment: e.ID, Seed: *seed, Scale: *scale, Quick: *quick,
 					Workers: *workers, ShardIndex: shardIdx, ShardCount: shardCnt,
-					SpecHash: e.SpecHash, Version: results.Version(),
+					SpecHash: e.SpecHash, Axes: axes, Version: results.Version(),
 				},
 				Tables: tables,
 			}
@@ -264,6 +279,31 @@ func printTables(tabs []*metrics.Table) {
 	for _, t := range tabs {
 		fmt.Println(t)
 	}
+}
+
+// parseTolCols parses the -tol-cols argument ("name=rel,name=rel")
+// into per-column tolerance overrides. Column names are header cells
+// ("p95(Kcyc)", "thr[readers](Kacq/s)") — they never contain '=' or
+// ',', so splitting on those is unambiguous.
+func parseTolCols(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("lockbench: -tol-cols wants name=rel pairs, got %q", part)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		// !(f >= 0) also rejects NaN, which would otherwise disable
+		// every comparison on the column.
+		if err != nil || !(f >= 0) || math.IsInf(f, 0) {
+			return nil, fmt.Errorf("lockbench: -tol-cols %s: bad tolerance %q", name, val)
+		}
+		out[name] = f
+	}
+	return out, nil
 }
 
 // parseShard parses "i/n" into (i, n); an empty argument is unsharded.

@@ -101,6 +101,12 @@ type Experiment struct {
 	// is recorded in results.Meta so diffs refuse to compare runs of
 	// different spec revisions.
 	SpecHash string
+	// Axes, when non-nil, describes the sweep dimensions of a run under
+	// the given options — nesting order (outermost first), typed
+	// values, quick trimming applied — so results.Meta records exactly
+	// what each table row's leading columns mean. Nil for the built-in
+	// figures (whose grids are hand-coded); compiled scenarios fill it.
+	Axes func(o Options) []sweep.Axis
 	// Run executes the experiment and returns its rendered tables.
 	Run func(o Options) []*metrics.Table
 }

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"lockin/internal/metrics"
+	"lockin/internal/sweep"
 )
 
 // Meta records how a run was produced. Together with the simulator's
@@ -42,6 +43,15 @@ type Meta struct {
 	// with different non-empty hashes measured different workloads, so
 	// Compare and Merge refuse to relate them.
 	SpecHash string `json:"spec_hash,omitempty"`
+	// Axes records the run's sweep dimensions with their typed values,
+	// in nesting order (outermost first): table rows enumerate as the
+	// cross product of these axes, last axis fastest. Note this is ROW
+	// order, not column order — axis values also appear as table
+	// columns, but those are matched by header name ("threads",
+	// "read%", ...), and the threads/cs columns render even when no
+	// such axis is declared. Empty for experiments with hand-coded
+	// grids. Merge refuses shards whose axes disagree.
+	Axes []sweep.Axis `json:"axes,omitempty"`
 	// Version is the git-describable build version (see Version).
 	Version string `json:"version"`
 }
@@ -186,6 +196,10 @@ func Merge(shards ...*Run) (*Run, error) {
 		if m.SpecHash != first.Meta.SpecHash {
 			return nil, fmt.Errorf("results: shard %d of %s ran spec revision %s, shard %d ran %s — regenerate the shards from one spec",
 				m.ShardIndex, first.Meta.Experiment, orNone(m.SpecHash), first.Meta.ShardIndex, orNone(first.Meta.SpecHash))
+		}
+		if !sweep.AxesEqual(m.Axes, first.Meta.Axes) {
+			return nil, fmt.Errorf("results: shard %d of %s swept different axes than shard %d — regenerate the shards from one spec",
+				m.ShardIndex, first.Meta.Experiment, first.Meta.ShardIndex)
 		}
 		if m.ShardIndex != i || m.ShardCount != count {
 			return nil, fmt.Errorf("results: %s: missing or duplicate shard %d/%d (got %d/%d)",

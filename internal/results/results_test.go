@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"lockin/internal/metrics"
+	"lockin/internal/sweep"
 )
 
 func demoRun(thr, tpp float64) *Run {
@@ -14,9 +15,25 @@ func demoRun(thr, tpp float64) *Run {
 	t.AddRow(40, "MUTEXEE", 2*thr, 2*tpp)
 	t.AddNote("seed 42")
 	return &Run{
-		Meta:   Meta{Experiment: "demo", Seed: 42, Scale: 1, Quick: true, Version: "test"},
+		Meta: Meta{
+			Experiment: "demo", Seed: 42, Scale: 1, Quick: true, Version: "test",
+			Axes: []sweep.Axis{
+				sweep.NewAxis("threads", 20, 40),
+				sweep.NewAxis("lock", "MUTEX", "MUTEXEE"),
+			},
+		},
 		Tables: []*metrics.Table{t},
 	}
+}
+
+// metaEqual compares run metadata field-wise (Meta holds an axis
+// slice, so == no longer applies).
+func metaEqual(a, b Meta) bool {
+	return a.Experiment == b.Experiment && a.Seed == b.Seed && a.Scale == b.Scale &&
+		a.Quick == b.Quick && a.Workers == b.Workers &&
+		a.ShardIndex == b.ShardIndex && a.ShardCount == b.ShardCount &&
+		a.SpecHash == b.SpecHash && a.Version == b.Version &&
+		sweep.AxesEqual(a.Axes, b.Axes)
 }
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -33,7 +50,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	if got.Meta != r.Meta {
+	if !metaEqual(got.Meta, r.Meta) {
 		t.Fatalf("meta changed: %+v vs %+v", got.Meta, r.Meta)
 	}
 	if len(got.Tables) != 1 || !metrics.EqualTable(got.Tables[0], r.Tables[0]) {
@@ -288,6 +305,28 @@ func TestMergeRefusesSpecRevisions(t *testing.T) {
 	}
 	if m.Meta.SpecHash != "aaaa00000000" {
 		t.Fatalf("merge dropped the spec hash: %q", m.Meta.SpecHash)
+	}
+}
+
+func TestMergeRefusesAxisMismatch(t *testing.T) {
+	mk := func(idx int) *Run {
+		r := demoRun(1, 1)
+		r.Meta.ShardIndex, r.Meta.ShardCount = idx, 2
+		return r
+	}
+	a, b := mk(0), mk(1)
+	b.Meta.Axes[0] = sweep.NewAxis("threads", 20, 80)
+	if _, err := Merge(a, b); err == nil {
+		t.Fatal("merge accepted shards sweeping different axes")
+	} else if !strings.Contains(err.Error(), "different axes") {
+		t.Fatalf("unhelpful refusal: %v", err)
+	}
+	m, err := Merge(mk(0), mk(1))
+	if err != nil {
+		t.Fatalf("same-axes merge failed: %v", err)
+	}
+	if !sweep.AxesEqual(m.Meta.Axes, a.Meta.Axes) {
+		t.Fatalf("merge dropped the axes: %+v", m.Meta.Axes)
 	}
 }
 

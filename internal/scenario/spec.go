@@ -1,10 +1,12 @@
 // Package scenario is the declarative workload subsystem: a JSON spec
 // describes a lock workload — thread groups, lock topology (single hot
 // lock, striped array, reader-writer wrapper, condvar queue), per-group
-// loops with weighted alternatives, machine configuration and a sweep
-// axis (threads × critical-section × lock-kind grids) — and the compiler
-// lowers it onto the existing machine/systems/workload primitives as a
-// first-class experiments.Experiment. Compiled scenarios run through
+// loops with weighted alternatives, machine configuration and a set of
+// named sweep axes (threads, critical-section, lock-kind, read-ratio,
+// oversubscription-factor and zipf-skew, cross-producted into a
+// sweep.Space) — and the compiler lowers it onto the existing
+// machine/systems/workload primitives as a first-class
+// experiments.Experiment. Compiled scenarios run through
 // internal/sweep (parallel workers, multi-process sharding) and persist
 // through internal/results exactly like the hand-coded paper figures,
 // so opening a new contention pattern means writing a spec file, not a
@@ -17,8 +19,10 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 	"regexp"
 
+	"lockin/internal/topo"
 	"lockin/internal/workload"
 )
 
@@ -60,6 +64,23 @@ type Spec struct {
 	Groups []GroupSpec `json:"groups"`
 	// Sweep declares the experiment grid axes; one table row per cell.
 	Sweep SweepSpec `json:"sweep,omitempty"`
+	// Columns selects optional output columns beyond the standard
+	// throughput/TPP/p99 set. A pointer so specs without it keep their
+	// pre-axis canonical JSON — and therefore their content Hash —
+	// byte-identical.
+	Columns *ColumnsSpec `json:"columns,omitempty"`
+}
+
+// ColumnsSpec selects optional table columns.
+type ColumnsSpec struct {
+	// PerGroup adds one throughput column per thread group
+	// ("thr[<group>](Kacq/s)"), splitting e.g. producer vs consumer
+	// rates that the aggregate column folds together.
+	PerGroup bool `json:"per_group,omitempty"`
+	// Percentiles adds one latency column per requested percentile
+	// ("p50(Kcyc)", "p95(Kcyc)", ...) alongside the standard aggregate
+	// columns. Values are percents in (0, 100).
+	Percentiles []float64 `json:"percentiles,omitempty"`
 }
 
 // MachineSpec selects the simulated hardware.
@@ -81,6 +102,14 @@ type LockSpec struct {
 	// "TAS", "TTAS", "MCS", "CLH", "TAS-BO", "HTICKET", "MWAIT").
 	// Empty means the lock follows the sweep's lock-kind axis.
 	Kind string `json:"kind,omitempty"`
+	// Pick selects the stripe distribution of a striped lock: "uniform"
+	// (default) or "zipf" (hot-stripe: stripe i drawn with probability
+	// proportional to 1/(i+1)^skew — skewed key popularity hashing onto
+	// bucket locks).
+	Pick string `json:"pick,omitempty"`
+	// Skew pins the zipf skew. Absent on a zipf-picked lock means "take
+	// the value of the sweep's skew axis".
+	Skew *float64 `json:"skew,omitempty"`
 }
 
 // GroupSpec declares one group of identical threads and their loop:
@@ -90,8 +119,12 @@ type LockSpec struct {
 type GroupSpec struct {
 	Name string `json:"name,omitempty"`
 	// Threads is the group's thread count; 0 means "take the value of
-	// the sweep's threads axis".
+	// the sweep's threads axis" (or of the oversub axis, see Oversub).
 	Threads int `json:"threads"`
+	// Oversub ties the group's thread count to the sweep's oversub axis
+	// instead: count = round(factor × hardware contexts of the machine).
+	// Threads must be 0.
+	Oversub bool `json:"oversub,omitempty"`
 	// OutsideCycles is non-critical work after each iteration.
 	OutsideCycles int64 `json:"outside_cycles,omitempty"`
 	// BlockEvery/BlockCycles model periodic blocking I/O: every
@@ -106,10 +139,17 @@ type GroupSpec struct {
 	Choices []ChoiceSpec `json:"choices,omitempty"`
 }
 
-// ChoiceSpec is one weighted alternative loop body.
+// ChoiceSpec is one weighted alternative loop body. Exactly one of
+// Weight/WeightAxis supplies the weight.
 type ChoiceSpec struct {
-	Weight int      `json:"weight"`
-	Ops    []OpSpec `json:"ops"`
+	// Weight is a fixed positive weight.
+	Weight int `json:"weight,omitempty"`
+	// WeightAxis ties the weight to the sweep's read axis (a
+	// percentage): "read" takes the axis value, "rest" its complement
+	// to 100 — a read/write or GET/SET mix whose ratio is a sweep
+	// dimension instead of a constant.
+	WeightAxis string   `json:"weight_axis,omitempty"`
+	Ops        []OpSpec `json:"ops"`
 }
 
 // OpSpec is one step of a loop body: a critical section on a named
@@ -133,11 +173,14 @@ type OpSpec struct {
 	BlockCycles int64 `json:"block_cycles,omitempty"`
 }
 
-// SweepSpec declares the experiment grid. The cross product of the
-// axes, in threads-major, cs-middle, lock-minor order, is the cell
-// grid; every cell simulates on its own machine with a stable
-// index-derived seed, so scenarios shard and parallelize like the
-// built-in figures.
+// SweepSpec declares the experiment grid: an ordered set of named
+// axes whose cross product is the cell grid. Cells enumerate in the
+// fixed nesting order oversub → read → skew → threads → cs → lock
+// (outermost first); every cell simulates on its own machine with a
+// stable index-derived seed, so scenarios shard and parallelize like
+// the built-in figures, and adding a new outer axis keeps the first
+// slice's cell indices — and therefore seeds and results — identical
+// to a spec without it.
 type SweepSpec struct {
 	// Locks is the lock-kind axis applied to every lock without a
 	// pinned Kind (default ["MUTEX"]).
@@ -146,6 +189,16 @@ type SweepSpec struct {
 	Threads []int `json:"threads,omitempty"`
 	// CS is the critical-section axis filling lock ops with cs_cycles 0.
 	CS []int64 `json:"cs,omitempty"`
+	// Read is the read-ratio axis (percent, 0..100) feeding choices
+	// with weight_axis "read"/"rest".
+	Read []int `json:"read,omitempty"`
+	// Oversub is the oversubscription-factor axis: groups with oversub
+	// true run round(factor × hardware contexts) threads (factor 2 on
+	// the 40-context Xeon = 80 threads).
+	Oversub []float64 `json:"oversub,omitempty"`
+	// Skew is the zipf-skew axis feeding zipf-picked striped locks
+	// without a pinned skew (0 = uniform).
+	Skew []float64 `json:"skew,omitempty"`
 }
 
 // Defaults applied by Parse/Compile.
@@ -197,6 +250,13 @@ func (s *Spec) Hash() string {
 	return hex.EncodeToString(sum[:6])
 }
 
+// axisUse records which sweep axes the walked spec fields consume.
+// Validate fills it while checking locks, groups and ops, then the
+// generic effectiveness pass compares it against the declared axes.
+type axisUse struct {
+	threads, cs, read, oversub, skew bool
+}
+
 // Validate checks the spec's structural invariants and reports the
 // first violation with enough context to fix the file.
 func (s *Spec) Validate() error {
@@ -217,73 +277,41 @@ func (s *Spec) Validate() error {
 	if err := s.validateSweep(); err != nil {
 		return err
 	}
-	locks, err := s.validateLocks()
+	if err := s.validateColumns(); err != nil {
+		return err
+	}
+	var use axisUse
+	locks, err := s.validateLocks(&use)
 	if err != nil {
 		return err
 	}
 	if len(s.Groups) == 0 {
 		return fmt.Errorf("scenario %s: needs at least one group", s.Name)
 	}
-	usesThreadsAxis, usesCSAxis := false, false
 	for gi := range s.Groups {
-		g := &s.Groups[gi]
-		gname := g.Name
-		if gname == "" {
-			gname = fmt.Sprintf("group %d", gi)
-		}
-		switch {
-		case g.Threads < 0:
-			return fmt.Errorf("scenario %s: %s: negative thread count %d", s.Name, gname, g.Threads)
-		case g.Threads == 0 && len(s.Sweep.Threads) == 0:
-			return fmt.Errorf("scenario %s: %s: zero threads (set threads, or declare a sweep.threads axis for it to follow)", s.Name, gname)
-		case g.Threads > maxThreads:
-			return fmt.Errorf("scenario %s: %s: %d threads exceeds the %d-thread limit", s.Name, gname, g.Threads, maxThreads)
-		}
-		if g.Threads == 0 {
-			usesThreadsAxis = true
-		}
-		if g.OutsideCycles < 0 {
-			return fmt.Errorf("scenario %s: %s: negative outside_cycles", s.Name, gname)
-		}
-		if g.BlockEvery < 0 || g.BlockCycles < 0 {
-			return fmt.Errorf("scenario %s: %s: negative block_every/block_cycles", s.Name, gname)
-		}
-		if (g.BlockEvery > 0) != (g.BlockCycles > 0) {
-			return fmt.Errorf("scenario %s: %s: block_every and block_cycles go together", s.Name, gname)
-		}
-		bodies := [][]OpSpec{g.Ops}
-		switch {
-		case len(g.Ops) > 0 && len(g.Choices) > 0:
-			return fmt.Errorf("scenario %s: %s: declare ops or choices, not both", s.Name, gname)
-		case len(g.Ops) == 0 && len(g.Choices) == 0:
-			return fmt.Errorf("scenario %s: %s: needs ops or choices", s.Name, gname)
-		case len(g.Choices) > 0:
-			bodies = bodies[:0]
-			for ci, ch := range g.Choices {
-				if ch.Weight <= 0 {
-					return fmt.Errorf("scenario %s: %s: choice %d needs a positive weight", s.Name, gname, ci)
-				}
-				if len(ch.Ops) == 0 {
-					return fmt.Errorf("scenario %s: %s: choice %d has no ops", s.Name, gname, ci)
-				}
-				bodies = append(bodies, ch.Ops)
-			}
-		}
-		for _, ops := range bodies {
-			for oi, op := range ops {
-				usedCS, err := s.validateOp(gname, oi, op, locks)
-				if err != nil {
-					return err
-				}
-				usesCSAxis = usesCSAxis || usedCS
-			}
+		if err := s.validateGroup(gi, locks, &use); err != nil {
+			return err
 		}
 	}
-	if len(s.Sweep.Threads) > 0 && !usesThreadsAxis {
-		return fmt.Errorf("scenario %s: sweep.threads axis has no effect: every group pins its thread count", s.Name)
+	// Generic per-axis effectiveness: a declared axis no spec field
+	// follows would sweep nothing — every row of the axis' slices would
+	// repeat the same measurement under a different label.
+	effs := []struct {
+		name     string
+		declared bool
+		used     bool
+		hint     string
+	}{
+		{"threads", len(s.Sweep.Threads) > 0, use.threads, "every group pins its thread count"},
+		{"cs", len(s.Sweep.CS) > 0, use.cs, "every lock op pins cs_cycles"},
+		{"read", len(s.Sweep.Read) > 0, use.read, "no choice takes its weight from the axis (weight_axis)"},
+		{"oversub", len(s.Sweep.Oversub) > 0, use.oversub, "no group sets oversub: true"},
+		{"skew", len(s.Sweep.Skew) > 0, use.skew, "every zipf-picked lock pins its skew"},
 	}
-	if len(s.Sweep.CS) > 0 && !usesCSAxis {
-		return fmt.Errorf("scenario %s: sweep.cs axis has no effect: every lock op pins cs_cycles", s.Name)
+	for _, a := range effs {
+		if a.declared && !a.used {
+			return fmt.Errorf("scenario %s: sweep.%s axis has no effect: %s", s.Name, a.name, a.hint)
+		}
 	}
 	if len(s.Sweep.Locks) > 1 {
 		swept := false
@@ -299,7 +327,129 @@ func (s *Spec) Validate() error {
 	return nil
 }
 
-func (s *Spec) validateLocks() (map[string]LockSpec, error) {
+// validateGroup checks one thread group and its loop bodies.
+func (s *Spec) validateGroup(gi int, locks map[string]LockSpec, use *axisUse) error {
+	g := &s.Groups[gi]
+	gname := g.Name
+	if gname == "" {
+		gname = fmt.Sprintf("group %d", gi)
+	}
+	// Under per_group columns, group names feed table column headers
+	// addressed by the CLI's name=value tolerance syntax, so keep them
+	// to the same safe alphabet as scenario names. Specs without
+	// per-group columns keep the historical unrestricted names.
+	if s.perGroup() && g.Name != "" && !nameRE.MatchString(g.Name) {
+		return fmt.Errorf("scenario %s: group name %q must match %s for per_group columns", s.Name, g.Name, nameRE)
+	}
+	switch {
+	case g.Threads < 0:
+		return fmt.Errorf("scenario %s: %s: negative thread count %d", s.Name, gname, g.Threads)
+	case g.Oversub && g.Threads != 0:
+		return fmt.Errorf("scenario %s: %s: oversub groups follow the sweep.oversub axis; drop threads", s.Name, gname)
+	case g.Oversub && len(s.Sweep.Oversub) == 0:
+		return fmt.Errorf("scenario %s: %s: oversub: true needs a sweep.oversub axis", s.Name, gname)
+	case g.Threads == 0 && !g.Oversub && len(s.Sweep.Threads) == 0:
+		return fmt.Errorf("scenario %s: %s: zero threads (set threads, or declare a sweep.threads axis for it to follow)", s.Name, gname)
+	case g.Threads > maxThreads:
+		return fmt.Errorf("scenario %s: %s: %d threads exceeds the %d-thread limit", s.Name, gname, g.Threads, maxThreads)
+	}
+	switch {
+	case g.Oversub:
+		use.oversub = true
+	case g.Threads == 0:
+		use.threads = true
+	}
+	if g.OutsideCycles < 0 {
+		return fmt.Errorf("scenario %s: %s: negative outside_cycles", s.Name, gname)
+	}
+	if g.BlockEvery < 0 || g.BlockCycles < 0 {
+		return fmt.Errorf("scenario %s: %s: negative block_every/block_cycles", s.Name, gname)
+	}
+	if (g.BlockEvery > 0) != (g.BlockCycles > 0) {
+		return fmt.Errorf("scenario %s: %s: block_every and block_cycles go together", s.Name, gname)
+	}
+	bodies := [][]OpSpec{g.Ops}
+	switch {
+	case len(g.Ops) > 0 && len(g.Choices) > 0:
+		return fmt.Errorf("scenario %s: %s: declare ops or choices, not both", s.Name, gname)
+	case len(g.Ops) == 0 && len(g.Choices) == 0:
+		return fmt.Errorf("scenario %s: %s: needs ops or choices", s.Name, gname)
+	case len(g.Choices) > 0:
+		bodies = bodies[:0]
+		for ci, ch := range g.Choices {
+			switch ch.WeightAxis {
+			case "":
+				if ch.Weight <= 0 {
+					return fmt.Errorf("scenario %s: %s: choice %d needs a positive weight", s.Name, gname, ci)
+				}
+			case "read", "rest":
+				if ch.Weight != 0 {
+					return fmt.Errorf("scenario %s: %s: choice %d: set weight or weight_axis, not both", s.Name, gname, ci)
+				}
+				if len(s.Sweep.Read) == 0 {
+					return fmt.Errorf("scenario %s: %s: choice %d: weight_axis needs a sweep.read axis", s.Name, gname, ci)
+				}
+				use.read = true
+			default:
+				return fmt.Errorf("scenario %s: %s: choice %d: unknown weight_axis %q (want read or rest)", s.Name, gname, ci, ch.WeightAxis)
+			}
+			if len(ch.Ops) == 0 {
+				return fmt.Errorf("scenario %s: %s: choice %d has no ops", s.Name, gname, ci)
+			}
+			bodies = append(bodies, ch.Ops)
+		}
+		// Every cell's weighted draw needs a positive total; with
+		// axis-fed weights the total depends on the read-axis value.
+		for _, v := range s.readAxisOrFixed() {
+			if total := choiceTotal(g.Choices, v); total <= 0 {
+				return fmt.Errorf("scenario %s: %s: choices have non-positive total weight %d at read = %d", s.Name, gname, total, v)
+			}
+		}
+	}
+	for _, ops := range bodies {
+		for oi, op := range ops {
+			usedCS, err := s.validateOp(gname, oi, op, locks)
+			if err != nil {
+				return err
+			}
+			use.cs = use.cs || usedCS
+		}
+	}
+	return nil
+}
+
+// readAxisOrFixed returns the read axis, or a one-value placeholder
+// when no axis is declared (fixed weights don't depend on it).
+func (s *Spec) readAxisOrFixed() []int {
+	if len(s.Sweep.Read) > 0 {
+		return s.Sweep.Read
+	}
+	return []int{0}
+}
+
+// choiceTotal resolves a choice list's total weight at one read-axis
+// value.
+func choiceTotal(choices []ChoiceSpec, read int) int {
+	total := 0
+	for _, ch := range choices {
+		total += choiceWeight(ch, read)
+	}
+	return total
+}
+
+// choiceWeight resolves one choice's weight at one read-axis value.
+func choiceWeight(ch ChoiceSpec, read int) int {
+	switch ch.WeightAxis {
+	case "read":
+		return read
+	case "rest":
+		return 100 - read
+	default:
+		return ch.Weight
+	}
+}
+
+func (s *Spec) validateLocks(use *axisUse) (map[string]LockSpec, error) {
 	if len(s.Locks) == 0 {
 		return nil, fmt.Errorf("scenario %s: needs at least one lock", s.Name)
 	}
@@ -322,6 +472,31 @@ func (s *Spec) validateLocks() (map[string]LockSpec, error) {
 		}
 		if l.Stripes < 0 || (l.Topology == TopoStriped && l.Stripes == 1) {
 			return nil, fmt.Errorf("scenario %s: lock %s: a striped lock needs at least 2 stripes", s.Name, l.Name)
+		}
+		switch l.Pick {
+		case "", "uniform":
+			if l.Pick != "" && l.Topology != TopoStriped {
+				return nil, fmt.Errorf("scenario %s: lock %s: pick only applies to the %s topology", s.Name, l.Name, TopoStriped)
+			}
+			if l.Skew != nil {
+				return nil, fmt.Errorf("scenario %s: lock %s: skew only applies to zipf-picked locks", s.Name, l.Name)
+			}
+		case "zipf":
+			if l.Topology != TopoStriped {
+				return nil, fmt.Errorf("scenario %s: lock %s: pick only applies to the %s topology", s.Name, l.Name, TopoStriped)
+			}
+			switch {
+			case l.Skew != nil:
+				if *l.Skew < 0 {
+					return nil, fmt.Errorf("scenario %s: lock %s: negative skew %g", s.Name, l.Name, *l.Skew)
+				}
+			case len(s.Sweep.Skew) == 0:
+				return nil, fmt.Errorf("scenario %s: lock %s: zipf pick needs a skew, or a sweep.skew axis for it to follow", s.Name, l.Name)
+			default:
+				use.skew = true
+			}
+		default:
+			return nil, fmt.Errorf("scenario %s: lock %s: unknown pick %q (want uniform or zipf)", s.Name, l.Name, l.Pick)
 		}
 		if l.Kind != "" {
 			if _, err := workload.FactoryNamed(l.Kind); err != nil {
@@ -395,6 +570,8 @@ func (s *Spec) validateOp(gname string, oi int, op OpSpec, locks map[string]Lock
 	return false, nil
 }
 
+// validateSweep applies per-axis uniqueness and value checks to every
+// declared axis of the sweep space.
 func (s *Spec) validateSweep() error {
 	if err := uniqueAxis(s.Name, "locks", s.Sweep.Locks, func(k string) error {
 		_, err := workload.FactoryNamed(k)
@@ -410,12 +587,118 @@ func (s *Spec) validateSweep() error {
 	}); err != nil {
 		return err
 	}
-	return uniqueAxis(s.Name, "cs", s.Sweep.CS, func(c int64) error {
+	if err := uniqueAxis(s.Name, "cs", s.Sweep.CS, func(c int64) error {
 		if c < 1 {
 			return fmt.Errorf("critical section %d must be positive", c)
 		}
 		return nil
+	}); err != nil {
+		return err
+	}
+	if err := uniqueAxis(s.Name, "read", s.Sweep.Read, func(r int) error {
+		if r < 0 || r > 100 {
+			return fmt.Errorf("read ratio %d out of range [0, 100]", r)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	ctx := s.machineContexts()
+	// Distinct factors can still round to the same thread count — the
+	// same duplicate measurement a literally-overlapping axis produces —
+	// so uniqueness is checked on the resolved counts too.
+	seenThreads := make(map[int]float64, len(s.Sweep.Oversub))
+	if err := uniqueAxis(s.Name, "oversub", s.Sweep.Oversub, func(f float64) error {
+		if !(f > 0) {
+			return fmt.Errorf("oversubscription factor %g must be positive", f)
+		}
+		n := oversubThreads(f, ctx)
+		if n < 1 || n > maxThreads {
+			return fmt.Errorf("oversubscription factor %g resolves to %d threads, out of range [1, %d]", f, n, maxThreads)
+		}
+		if prev, dup := seenThreads[n]; dup {
+			return fmt.Errorf("factors %g and %g both resolve to %d threads on this machine — overlapping values", prev, f, n)
+		}
+		seenThreads[n] = f
+		return nil
+	}); err != nil {
+		return err
+	}
+	return uniqueAxis(s.Name, "skew", s.Sweep.Skew, func(z float64) error {
+		if math.IsNaN(z) || math.IsInf(z, 0) || z < 0 {
+			return fmt.Errorf("skew %g must be a non-negative finite value", z)
+		}
+		return nil
 	})
+}
+
+// perGroup reports whether the spec requests per-group columns.
+func (s *Spec) perGroup() bool { return s.Columns != nil && s.Columns.PerGroup }
+
+// percentiles returns the requested extra latency-percentile columns.
+func (s *Spec) percentiles() []float64 {
+	if s.Columns == nil {
+		return nil
+	}
+	return s.Columns.Percentiles
+}
+
+// validateColumns checks the optional output-column selection.
+func (s *Spec) validateColumns() error {
+	seen := make(map[float64]bool, len(s.percentiles()))
+	for _, p := range s.percentiles() {
+		if math.IsNaN(p) || p <= 0 || p >= 100 {
+			return fmt.Errorf("scenario %s: columns.percentiles: percentile %g out of range (0, 100)", s.Name, p)
+		}
+		if p == 99 {
+			return fmt.Errorf("scenario %s: columns.percentiles: 99 collides with the built-in p99 column", s.Name)
+		}
+		if seen[p] {
+			return fmt.Errorf("scenario %s: columns.percentiles: %g appears twice", s.Name, p)
+		}
+		seen[p] = true
+	}
+	if s.perGroup() {
+		names := make(map[string]bool, len(s.Groups))
+		for gi := range s.Groups {
+			n := groupLabel(&s.Groups[gi], gi)
+			if names[n] {
+				return fmt.Errorf("scenario %s: columns.per_group: duplicate group column %q — name the groups uniquely", s.Name, n)
+			}
+			names[n] = true
+		}
+	}
+	return nil
+}
+
+// groupLabel names a group for per-group columns.
+func groupLabel(g *GroupSpec, gi int) string {
+	if g.Name != "" {
+		return g.Name
+	}
+	return fmt.Sprintf("g%d", gi)
+}
+
+// machineTopo resolves the spec's machine topology — the single
+// source of the topology→hardware mapping, shared by validation (the
+// oversub axis denominator) and the compiler's machine configuration.
+func (s *Spec) machineTopo() topo.Topology {
+	if s.Machine.Topology == "corei7" {
+		return topo.CoreI7()
+	}
+	return topo.Xeon()
+}
+
+// machineContexts returns the hardware-context count of the spec's
+// machine — the denominator of the oversubscription-factor axis.
+func (s *Spec) machineContexts() int {
+	return s.machineTopo().NumContexts()
+}
+
+// oversubThreads resolves an oversubscription factor into a thread
+// count on a machine with ctx hardware contexts.
+func oversubThreads(f float64, ctx int) int {
+	return int(math.Round(f * float64(ctx)))
 }
 
 // uniqueAxis rejects overlapping (duplicate) values within one sweep

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -52,6 +53,44 @@ func TestHashTracksSemanticsNotFormatting(t *testing.T) {
 	}
 	if a.Hash() != d.Hash() {
 		t.Fatalf("doc-only change moved the hash: %s vs %s", a.Hash(), d.Hash())
+	}
+}
+
+// TestColumnsAbsentFromCanonicalJSON guards the hash-stability
+// contract for pre-axis specs: a spec that declares no columns must
+// re-marshal without a "columns" key, so its content hash — and every
+// stored baseline pinned to it — is unchanged by the field's addition
+// to the schema.
+func TestColumnsAbsentFromCanonicalJSON(t *testing.T) {
+	s, err := Parse([]byte(validSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "columns") {
+		t.Fatalf("columns-less spec marshals a columns key, moving every legacy hash: %s", b)
+	}
+	withCols := strings.ReplaceAll(validSpec, `"name": "t",`,
+		`"name": "t", "columns": {"percentiles": [95]},`)
+	c, err := Parse([]byte(withCols))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Hash() == c.Hash() {
+		t.Fatal("adding columns kept the hash, but the stored table shape changed")
+	}
+}
+
+// TestLegacyGroupNamesStillParse: group-name charset rules only bind
+// when per_group columns turn names into addressable headers; old
+// specs with arbitrary names must keep validating.
+func TestLegacyGroupNamesStillParse(t *testing.T) {
+	spec := strings.ReplaceAll(validSpec, `"name": "g"`, `"name": "Readers (hot)"`)
+	if _, err := Parse([]byte(spec)); err != nil {
+		t.Fatalf("pre-axis group name rejected without per_group columns: %v", err)
 	}
 }
 
@@ -140,6 +179,100 @@ func TestValidationErrors(t *testing.T) {
 			withSweep(strings.ReplaceAll(validSpec, `"topology": "single"`, `"topology": "single", "kind": "TICKET"`),
 				`{"locks": ["MUTEX", "MUTEXEE"]}`),
 			"overlaps the pinned lock kinds"},
+		{"weight_axis without read axis",
+			strings.ReplaceAll(validSpec, `"ops": [{"lock": "l", "cs_cycles": 100}]`,
+				`"choices": [{"weight_axis": "read", "ops": [{"lock": "l", "cs_cycles": 100}]}]`),
+			"weight_axis needs a sweep.read axis"},
+		{"unknown weight_axis",
+			withSweep(strings.ReplaceAll(validSpec, `"ops": [{"lock": "l", "cs_cycles": 100}]`,
+				`"choices": [{"weight_axis": "write", "ops": [{"lock": "l", "cs_cycles": 100}]}]`),
+				`{"read": [50]}`),
+			"unknown weight_axis"},
+		{"weight and weight_axis",
+			withSweep(strings.ReplaceAll(validSpec, `"ops": [{"lock": "l", "cs_cycles": 100}]`,
+				`"choices": [{"weight": 3, "weight_axis": "read", "ops": [{"lock": "l", "cs_cycles": 100}]}]`),
+				`{"read": [50]}`),
+			"not both"},
+		{"read axis unused",
+			withSweep(validSpec, `{"read": [10, 90]}`),
+			"sweep.read axis has no effect"},
+		{"read out of range",
+			withSweep(strings.ReplaceAll(validSpec, `"ops": [{"lock": "l", "cs_cycles": 100}]`,
+				`"choices": [{"weight_axis": "read", "ops": [{"lock": "l", "cs_cycles": 100}]}]`),
+				`{"read": [150]}`),
+			"read ratio 150 out of range"},
+		{"overlapping read axis",
+			withSweep(strings.ReplaceAll(validSpec, `"ops": [{"lock": "l", "cs_cycles": 100}]`,
+				`"choices": [{"weight_axis": "read", "ops": [{"lock": "l", "cs_cycles": 100}]}]`),
+				`{"read": [50, 50]}`),
+			"overlapping values"},
+		{"zero total weight",
+			withSweep(strings.ReplaceAll(validSpec, `"ops": [{"lock": "l", "cs_cycles": 100}]`,
+				`"choices": [{"weight_axis": "read", "ops": [{"lock": "l", "cs_cycles": 100}]}]`),
+				`{"read": [0, 50]}`),
+			"non-positive total weight"},
+		{"oversub group without axis",
+			strings.ReplaceAll(validSpec, `"threads": 2`, `"threads": 0, "oversub": true`),
+			"needs a sweep.oversub axis"},
+		{"oversub group with pinned threads",
+			withSweep(strings.ReplaceAll(validSpec, `"threads": 2`, `"threads": 2, "oversub": true`),
+				`{"oversub": [2]}`),
+			"drop threads"},
+		{"oversub axis unused",
+			withSweep(validSpec, `{"oversub": [1, 2]}`),
+			"sweep.oversub axis has no effect"},
+		{"non-positive oversub factor",
+			withSweep(strings.ReplaceAll(validSpec, `"threads": 2`, `"threads": 0, "oversub": true`),
+				`{"oversub": [0]}`),
+			"must be positive"},
+		{"oversub factor too large",
+			withSweep(strings.ReplaceAll(validSpec, `"threads": 2`, `"threads": 0, "oversub": true`),
+				`{"oversub": [1000]}`),
+			"out of range"},
+		{"oversub factors round to same thread count",
+			withSweep(strings.ReplaceAll(validSpec, `"threads": 2`, `"threads": 0, "oversub": true`),
+				`{"oversub": [0.1, 0.11]}`),
+			"both resolve to 4 threads"},
+		{"pick on single lock",
+			strings.ReplaceAll(validSpec, `"topology": "single"`, `"topology": "single", "pick": "zipf", "skew": 1`),
+			"pick only applies to the striped topology"},
+		{"unknown pick",
+			strings.ReplaceAll(validSpec, `"topology": "single"`, `"topology": "striped", "pick": "hottest"`),
+			"unknown pick"},
+		{"skew without zipf",
+			strings.ReplaceAll(validSpec, `"topology": "single"`, `"topology": "striped", "skew": 1`),
+			"skew only applies to zipf-picked locks"},
+		{"zipf without skew",
+			strings.ReplaceAll(validSpec, `"topology": "single"`, `"topology": "striped", "pick": "zipf"`),
+			"zipf pick needs a skew"},
+		{"negative pinned skew",
+			strings.ReplaceAll(validSpec, `"topology": "single"`, `"topology": "striped", "pick": "zipf", "skew": -1`),
+			"negative skew"},
+		{"skew axis unused",
+			withSweep(strings.ReplaceAll(validSpec, `"topology": "single"`, `"topology": "striped", "pick": "zipf", "skew": 1`),
+				`{"skew": [0, 1]}`),
+			"sweep.skew axis has no effect"},
+		{"negative skew axis value",
+			withSweep(strings.ReplaceAll(validSpec, `"topology": "single"`, `"topology": "striped", "pick": "zipf"`),
+				`{"skew": [-0.5]}`),
+			"non-negative"},
+		{"percentile out of range",
+			strings.ReplaceAll(validSpec, `"name": "t",`, `"name": "t", "columns": {"percentiles": [100]},`),
+			"out of range (0, 100)"},
+		{"percentile collides with built-in p99",
+			strings.ReplaceAll(validSpec, `"name": "t",`, `"name": "t", "columns": {"percentiles": [99]},`),
+			"collides with the built-in p99"},
+		{"unsafe group name under per_group columns",
+			strings.ReplaceAll(strings.ReplaceAll(validSpec, `"name": "g"`, `"name": "a=b"`),
+				`"name": "t",`, `"name": "t", "columns": {"per_group": true},`),
+			"group name"},
+		{"duplicate percentile",
+			strings.ReplaceAll(validSpec, `"name": "t",`, `"name": "t", "columns": {"percentiles": [95, 95]},`),
+			"appears twice"},
+		{"duplicate per-group column",
+			strings.ReplaceAll(validSpec, `"groups": [{"name": "g", "threads": 2, "ops": [{"lock": "l", "cs_cycles": 100}]}]`,
+				`"columns": {"per_group": true}, "groups": [{"name": "g", "threads": 2, "ops": [{"lock": "l", "cs_cycles": 100}]}, {"name": "g", "threads": 1, "ops": [{"lock": "l", "cs_cycles": 100}]}]`),
+			"duplicate group column"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,111 @@
+package sweep
+
+import "lockin/internal/metrics"
+
+// Axis is one named, ordered dimension of a sweep space. Values are
+// typed table cells (metrics.Value) so the same representation serves
+// cell enumeration, table rendering and the results store's run
+// metadata without re-parsing strings.
+type Axis struct {
+	Name   string          `json:"name"`
+	Values []metrics.Value `json:"values"`
+}
+
+// NewAxis builds an axis from raw values via metrics.ValueOf.
+func NewAxis(name string, values ...any) Axis {
+	a := Axis{Name: name, Values: make([]metrics.Value, len(values))}
+	for i, v := range values {
+		a.Values[i] = metrics.ValueOf(v)
+	}
+	return a
+}
+
+// Len returns the number of values on the axis.
+func (a Axis) Len() int { return len(a.Values) }
+
+// AxisEqual reports whether two axes carry the same name and values.
+func AxisEqual(a, b Axis) bool {
+	if a.Name != b.Name || len(a.Values) != len(b.Values) {
+		return false
+	}
+	for i := range a.Values {
+		if !a.Values[i].Equal(b.Values[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// AxesEqual reports whether two axis lists match element-wise.
+func AxesEqual(a, b []Axis) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !AxisEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Space is the ordered cross product of a list of axes. Cells
+// enumerate in row-major order — the first axis is outermost, the last
+// innermost — which is exactly the nesting order of the hand-written
+// loops it replaces, so a grid rebuilt on a Space keeps every cell's
+// historical index and therefore its CellSeed-derived machine seed.
+type Space struct {
+	axes []Axis
+}
+
+// NewSpace builds a space over the given axes. Axes with zero values
+// yield an empty space (Len() == 0).
+func NewSpace(axes ...Axis) Space {
+	return Space{axes: append([]Axis(nil), axes...)}
+}
+
+// Axes returns the space's axes in nesting order (outermost first).
+func (s Space) Axes() []Axis { return s.axes }
+
+// Len returns the number of cells: the product of the axis lengths.
+func (s Space) Len() int {
+	n := 1
+	for _, a := range s.axes {
+		n *= len(a.Values)
+	}
+	if len(s.axes) == 0 {
+		return 0
+	}
+	return n
+}
+
+// Coords maps a cell index to one coordinate per axis (the value index
+// along that axis), inverting Index.
+func (s Space) Coords(index int) []int {
+	out := make([]int, len(s.axes))
+	for i := len(s.axes) - 1; i >= 0; i-- {
+		n := len(s.axes[i].Values)
+		out[i] = index % n
+		index /= n
+	}
+	return out
+}
+
+// Index maps per-axis coordinates back to the cell index.
+func (s Space) Index(coords ...int) int {
+	idx := 0
+	for i, a := range s.axes {
+		idx = idx*len(a.Values) + coords[i]
+	}
+	return idx
+}
+
+// Values returns the axis values of one cell, outermost axis first.
+func (s Space) Values(index int) []metrics.Value {
+	coords := s.Coords(index)
+	out := make([]metrics.Value, len(s.axes))
+	for i, a := range s.axes {
+		out[i] = a.Values[coords[i]]
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package sweep
+
+import (
+	"testing"
+
+	"lockin/internal/metrics"
+)
+
+func TestSpaceEnumeratesLikeNestedLoops(t *testing.T) {
+	s := NewSpace(
+		NewAxis("threads", 4, 8, 16),
+		NewAxis("cs", int64(800), int64(1600)),
+		NewAxis("lock", "MUTEX", "TICKET", "MUTEXEE"),
+	)
+	if got, want := s.Len(), 3*2*3; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	// The space must enumerate exactly as the hand-written loops it
+	// replaces: first axis outermost, last innermost — that is what
+	// keeps historical cell indices (and their derived seeds) stable.
+	i := 0
+	for ti, n := range []int{4, 8, 16} {
+		for ci, cs := range []int64{800, 1600} {
+			for ki, k := range []string{"MUTEX", "TICKET", "MUTEXEE"} {
+				co := s.Coords(i)
+				if co[0] != ti || co[1] != ci || co[2] != ki {
+					t.Fatalf("Coords(%d) = %v, want [%d %d %d]", i, co, ti, ci, ki)
+				}
+				if got := s.Index(ti, ci, ki); got != i {
+					t.Fatalf("Index(%d,%d,%d) = %d, want %d", ti, ci, ki, got, i)
+				}
+				vals := s.Values(i)
+				if vals[0].Int != int64(n) || vals[1].Int != cs || vals[2].Str != k {
+					t.Fatalf("Values(%d) = %v", i, vals)
+				}
+				i++
+			}
+		}
+	}
+}
+
+// TestSpaceOuterAxisPreservesPrefixIndices is the folding property the
+// scenario layer relies on: nesting an existing space under a new
+// outer axis keeps the old space's cells at indices 0..n-1, so their
+// CellSeed-derived seeds — and therefore their results — are
+// unchanged.
+func TestSpaceOuterAxisPreservesPrefixIndices(t *testing.T) {
+	old := NewSpace(NewAxis("cs", 1, 2), NewAxis("lock", "A", "B", "C"))
+	folded := NewSpace(NewAxis("read", 90, 50, 10), NewAxis("cs", 1, 2), NewAxis("lock", "A", "B", "C"))
+	for i := 0; i < old.Len(); i++ {
+		ov, fv := old.Values(i), folded.Values(i)
+		if fv[0].Int != 90 {
+			t.Fatalf("cell %d left the first outer-axis slice: %v", i, fv)
+		}
+		for j := range ov {
+			if !ov[j].Equal(fv[j+1]) {
+				t.Fatalf("cell %d remapped: old %v, folded %v", i, ov, fv)
+			}
+		}
+	}
+}
+
+func TestAxesEqual(t *testing.T) {
+	a := []Axis{NewAxis("threads", 4, 8), NewAxis("lock", "MUTEX")}
+	b := []Axis{NewAxis("threads", 4, 8), NewAxis("lock", "MUTEX")}
+	if !AxesEqual(a, b) {
+		t.Fatal("identical axes compare unequal")
+	}
+	if AxesEqual(a, b[:1]) {
+		t.Fatal("length mismatch compared equal")
+	}
+	c := []Axis{NewAxis("threads", 4, 16), NewAxis("lock", "MUTEX")}
+	if AxesEqual(a, c) {
+		t.Fatal("different values compared equal")
+	}
+	d := []Axis{NewAxis("workers", 4, 8), NewAxis("lock", "MUTEX")}
+	if AxesEqual(a, d) {
+		t.Fatal("different names compared equal")
+	}
+	// Same rendering, different kind (int 4 vs float 4) must differ.
+	e := []Axis{{Name: "threads", Values: []metrics.Value{metrics.FloatValue(4), metrics.FloatValue(8)}}, NewAxis("lock", "MUTEX")}
+	if AxesEqual(a, e) {
+		t.Fatal("kind mismatch compared equal")
+	}
+}
+
+func TestEmptySpace(t *testing.T) {
+	if n := NewSpace().Len(); n != 0 {
+		t.Fatalf("axis-free space has %d cells, want 0", n)
+	}
+	if n := NewSpace(NewAxis("empty")).Len(); n != 0 {
+		t.Fatalf("empty-axis space has %d cells, want 0", n)
+	}
+}

@@ -52,13 +52,18 @@ func NewRunner(mc machine.Config, warmup, duration sim.Cycles) *Runner {
 // Running reports whether the thread should start another operation.
 func (r *Runner) Running(t *machine.Thread) bool { return t.Proc().Now() < r.measTo }
 
-// Note records one completed operation that started at the given time.
-func (r *Runner) Note(t *machine.Thread, start sim.Cycles) {
+// Note records one completed operation that started at the given
+// time. It reports whether the operation landed in the measurement
+// window and was counted, so callers keeping side tallies (per-group
+// columns in compiled scenarios) count exactly the same operations.
+func (r *Runner) Note(t *machine.Thread, start sim.Cycles) bool {
 	end := t.Proc().Now()
 	if end >= r.measFrom && end < r.measTo {
 		r.ops++
 		r.lat.Record(end - start)
+		return true
 	}
+	return false
 }
 
 // RNG returns a per-thread deterministic RNG.

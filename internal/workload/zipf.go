@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf is a deterministic Zipf-distributed picker over n items: item i
+// is drawn with probability proportional to 1/(i+1)^s, so item 0 is
+// the hottest (Memcached's hot keys hashing to one bucket stripe).
+// Skew s = 0 degenerates to the uniform distribution. Picks consume
+// exactly one rng.Float64() draw, so a picker's sequence depends only
+// on the rng stream — the property compiled scenarios rely on for the
+// per-cell seed contract.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a picker over n items with skew s. It panics on
+// non-positive n or negative/non-finite s: callers validate user input
+// (scenario specs) before construction.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("workload: zipf over %d items", n))
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		panic(fmt.Sprintf("workload: zipf skew %v out of range", s))
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf}
+}
+
+// Pick draws one item index using a single rng.Float64() draw.
+func (z *Zipf) Pick(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Prob returns the probability of item i (for tests and diagnostics).
+func (z *Zipf) Prob(i int) float64 {
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}

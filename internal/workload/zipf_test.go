@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestZipfUniformAtZeroSkew(t *testing.T) {
+	z := NewZipf(16, 0)
+	for i := 0; i < 16; i++ {
+		if p := z.Prob(i); math.Abs(p-1.0/16) > 1e-12 {
+			t.Fatalf("skew 0 item %d has probability %g, want 1/16", i, p)
+		}
+	}
+}
+
+func TestZipfSkewConcentratesOnHead(t *testing.T) {
+	uni, hot := NewZipf(16, 0), NewZipf(16, 1.2)
+	if hot.Prob(0) <= uni.Prob(0) {
+		t.Fatalf("skew 1.2 head probability %g not above uniform %g", hot.Prob(0), uni.Prob(0))
+	}
+	if hot.Prob(15) >= uni.Prob(15) {
+		t.Fatalf("skew 1.2 tail probability %g not below uniform %g", hot.Prob(15), uni.Prob(15))
+	}
+	// Probabilities are non-increasing in rank and sum to 1.
+	sum := 0.0
+	for i := 0; i < 16; i++ {
+		if i > 0 && hot.Prob(i) > hot.Prob(i-1)+1e-15 {
+			t.Fatalf("probability increased at rank %d", i)
+		}
+		sum += hot.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %g", sum)
+	}
+}
+
+func TestZipfPickDeterministicAndInRange(t *testing.T) {
+	z := NewZipf(8, 0.9)
+	a, b := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	counts := make([]int, 8)
+	for i := 0; i < 10000; i++ {
+		x, y := z.Pick(a), z.Pick(b)
+		if x != y {
+			t.Fatalf("same seed diverged at draw %d: %d vs %d", i, x, y)
+		}
+		if x < 0 || x >= 8 {
+			t.Fatalf("pick %d out of range", x)
+		}
+		counts[x]++
+	}
+	// The empirical head frequency tracks the analytic probability.
+	got := float64(counts[0]) / 10000
+	if want := z.Prob(0); math.Abs(got-want) > 0.02 {
+		t.Fatalf("head frequency %g far from %g", got, want)
+	}
+	if counts[0] <= counts[7] {
+		t.Fatalf("head not hotter than tail: %v", counts)
+	}
+}
