@@ -56,7 +56,10 @@ results:
 # quick scenario smoke-runs with a parallel-vs-serial output diff, and
 # a sharded run merges back byte-identical to an unsharded one — first
 # over the classic threads × lock grid, then over a multi-axis space
-# that includes a read-ratio axis.
+# that includes a read-ratio axis. The new §6 specs smoke-run with the
+# same workers-8-vs-1 diff, and the axis query gate slices the read=90
+# plane out of the folded hamsterdb run (stored and live) and requires
+# a zero-difference plane diff against the legacy single-axis run.
 scenarios:
 	rm -rf /tmp/lockin-scen
 	$(GO) run ./cmd/lockbench -validate-scenarios
@@ -76,5 +79,17 @@ scenarios:
 	$(GO) run ./cmd/lockbench -scenario testdata/multiaxis-scenario.json -shard 1/2 -json /tmp/lockin-scen/ma-s1 > /dev/null
 	$(GO) run ./cmd/lockbench -scenario testdata/multiaxis-scenario.json -merge /tmp/lockin-scen/ma-s0,/tmp/lockin-scen/ma-s1 -json /tmp/lockin-scen/ma-merged -baseline /tmp/lockin-scen/ma-full -diff
 	cmp /tmp/lockin-scen/ma-full/scenario-multiaxis-quick.json /tmp/lockin-scen/ma-merged/scenario-multiaxis-quick.json
+	for spec in rocksdb mysql_ssd sqlite; do \
+		$(GO) run ./cmd/lockbench -experiment scenario:$$spec -quick -scale 0.25 -workers 1 > /tmp/lockin-s6-raw.txt || exit 1; \
+		sed '/done in/d' /tmp/lockin-s6-raw.txt > /tmp/lockin-s6-serial.txt; \
+		$(GO) run ./cmd/lockbench -experiment scenario:$$spec -quick -scale 0.25 -workers 8 > /tmp/lockin-s6-raw.txt || exit 1; \
+		sed '/done in/d' /tmp/lockin-s6-raw.txt > /tmp/lockin-s6-parallel.txt; \
+		diff -u /tmp/lockin-s6-serial.txt /tmp/lockin-s6-parallel.txt || exit 1; \
+	done
+	$(GO) run ./cmd/lockbench -scenario internal/scenario/testdata/legacy/hamsterdb_rd.json -quick -scale 0.25 -workers 4 -json /tmp/lockin-scen/q-legacy > /dev/null
+	$(GO) run ./cmd/lockbench -experiment scenario:hamsterdb -quick -scale 0.25 -workers 4 -json /tmp/lockin-scen/q-ma > /dev/null
+	$(GO) run ./cmd/lockbench -load /tmp/lockin-scen/q-ma/scenario-hamsterdb.json -slice read=90 -baseline /tmp/lockin-scen/q-legacy/scenario-hamsterdb_rd.json -diff
+	$(GO) run ./cmd/lockbench -experiment scenario:hamsterdb -quick -scale 0.25 -workers 4 -slice read=90 -baseline /tmp/lockin-scen/q-legacy/scenario-hamsterdb_rd.json -diff > /dev/null
+	$(GO) run ./cmd/lockbench -load /tmp/lockin-scen/q-ma/scenario-hamsterdb.json -project lock > /dev/null
 
 ci: lint build test race smoke results scenarios bench

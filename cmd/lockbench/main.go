@@ -33,6 +33,18 @@
 //	lockbench -experiment fig10 -shard 1/2 -json s1/
 //	lockbench -experiment fig10 -merge s0/,s1/ -json merged/
 //
+// Axis queries over multi-axis runs (see README "Axis queries"):
+// -slice keeps one plane of the axis space, -project collapses onto an
+// axis subset (mean aggregation), -load queries a stored run file
+// without simulating. With a query active, -baseline/-diff compare
+// plane-wise: axis metadata must match, and titles/notes/spec hashes
+// are ignored, so a sliced plane of a folded spec diffs clean against
+// the retired single-axis spec it absorbed. -baseline accepts a run
+// file as well as a store directory:
+//
+//	lockbench -experiment scenario:hamsterdb -slice read=90 -baseline legacy/scenario-hamsterdb_rd.json -diff
+//	lockbench -load ma/scenario-hamsterdb.json -project lock
+//
 // -scale lengthens every measurement window proportionally (1.0 = quick
 // defaults, tens of millions of cycles per point; the paper's 10-second
 // runs correspond to scale ≈ 1000 and take hours — store them with
@@ -81,6 +93,9 @@ func main() {
 		tolCols  = flag.String("tol-cols", "", "per-column tolerance overrides for -baseline, comma-separated name=rel (e.g. 'p95(Kcyc)=0.05,thr(Kacq/s)=0.02'); other columns use -tol")
 		shardArg = flag.String("shard", "", "run one shard of each grid, format i/n (e.g. 0/2)")
 		mergeArg = flag.String("merge", "", "comma-separated shard store dirs: merge stored shards instead of simulating")
+		sliceArg = flag.String("slice", "", "fix axes of a multi-axis run, comma-separated axis=value (e.g. 'read=90'); keeps only that plane's rows")
+		projArg  = flag.String("project", "", "collapse a multi-axis run onto these axes, comma-separated (e.g. 'read,lock'); other axes aggregate away (mean)")
+		loadArg  = flag.String("load", "", "query a stored run file instead of simulating (composes with -slice/-project/-json/-baseline/-diff)")
 	)
 	flag.Parse()
 
@@ -88,6 +103,75 @@ func main() {
 		validateScenarios()
 		return
 	}
+
+	fixes, err := parseSlice(*sliceArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	project, err := parseProject(*projArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	q := queryFlags{fixes: fixes, project: project}
+
+	tolerance := results.Tolerance{Default: *tol}
+	if cols, err := parseTolCols(*tolCols); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	} else {
+		tolerance.Columns = cols
+	}
+	if *diffGate && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "lockbench: -diff needs -baseline <dir or run.json>")
+		os.Exit(2)
+	}
+
+	// Query a stored run: no simulation at all, just load → slice/
+	// project → print/save/diff.
+	if *loadArg != "" {
+		if *id != "" || *scenFile != "" || *shardArg != "" || *mergeArg != "" {
+			fmt.Fprintln(os.Stderr, "lockbench: -load queries a stored run; it excludes -experiment/-scenario/-shard/-merge")
+			os.Exit(2)
+		}
+		run, err := results.Load(*loadArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// Queries refuse shards themselves; the plain diff path must
+		// too, or a partial shard diffs against a full baseline and
+		// every missing row reads as a regression.
+		if run.Meta.ShardCount > 1 && *baseline != "" {
+			fmt.Fprintf(os.Stderr, "lockbench: %s is shard %d/%d; merge the shards first (-merge)\n",
+				*loadArg, run.Meta.ShardIndex, run.Meta.ShardCount)
+			os.Exit(2)
+		}
+		run, err = q.apply(run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("### %s (loaded from %s)\n\n", run.Meta.Experiment, *loadArg)
+		printTables(run.Tables)
+		if *jsonDir != "" {
+			path, err := results.Save(*jsonDir, run)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("### saved %s\n\n", path)
+		}
+		if *baseline != "" {
+			if diffBaseline(run, run.Meta.Experiment, *baseline, q, tolerance, *tol) && *diffGate {
+				fmt.Fprintln(os.Stderr, "lockbench: differences against baseline")
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
 	if *list || (*id == "" && *scenFile == "") {
 		listExperiments()
 		if *id == "" && *scenFile == "" && !*list {
@@ -106,12 +190,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lockbench: -experiment and -scenario are mutually exclusive")
 		os.Exit(2)
 	}
-	if *diffGate && *baseline == "" {
-		fmt.Fprintln(os.Stderr, "lockbench: -diff needs -baseline <dir>")
-		os.Exit(2)
-	}
 	if *baseline != "" && shardCnt > 1 {
 		fmt.Fprintln(os.Stderr, "lockbench: -baseline compares full runs; merge the shards first (-merge)")
+		os.Exit(2)
+	}
+	if q.active() && shardCnt > 1 {
+		fmt.Fprintln(os.Stderr, "lockbench: -slice/-project query full runs; merge the shards first (-merge)")
 		os.Exit(2)
 	}
 	if *mergeArg != "" && shardCnt > 1 {
@@ -166,18 +250,16 @@ func main() {
 		todo = kept
 	}
 
-	tolerance := results.Tolerance{Default: *tol}
-	if cols, err := parseTolCols(*tolCols); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	} else {
-		tolerance.Columns = cols
-	}
 	differs := false
 	for _, e := range todo {
 		var run *results.Run
 		if *mergeArg != "" {
 			run, err = mergeStored(e.ID, strings.Split(*mergeArg, ","))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			run, err = q.apply(run)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -201,9 +283,16 @@ func main() {
 			if e.Axes != nil {
 				axes = e.Axes(opts)
 			}
+			// Reject a bad query against the declared axes BEFORE the
+			// simulation: a typo'd axis or value must cost milliseconds,
+			// not discard an hours-long -scale run.
+			if q.active() {
+				if err := results.ValidateQuery(axes, q.fixes, q.project); err != nil {
+					fmt.Fprintf(os.Stderr, "%v (experiment %s)\n", err, e.ID)
+					os.Exit(1)
+				}
+			}
 			tables := e.Run(opts)
-			printTables(tables)
-			fmt.Printf("### %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 			run = &results.Run{
 				Meta: results.Meta{
 					Experiment: e.ID, Seed: *seed, Scale: *scale, Quick: *quick,
@@ -212,6 +301,13 @@ func main() {
 				},
 				Tables: tables,
 			}
+			run, err = q.apply(run)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			printTables(run.Tables)
+			fmt.Printf("### %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
 
 		if *jsonDir != "" {
@@ -222,21 +318,8 @@ func main() {
 			}
 			fmt.Printf("### saved %s\n\n", path)
 		}
-		if *baseline != "" {
-			base, err := results.LoadExperiment(*baseline, e.ID)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			rep, err := results.Compare(base, run, tolerance)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Printf("### %s vs baseline %s (tol %g): %s\n", e.ID, *baseline, *tol, strings.TrimRight(rep.String(), "\n"))
-			if !rep.Empty() {
-				differs = true
-			}
+		if *baseline != "" && diffBaseline(run, e.ID, *baseline, q, tolerance, *tol) {
+			differs = true
 		}
 	}
 	if differs && *diffGate {
@@ -302,6 +385,161 @@ func parseTolCols(s string) (map[string]float64, error) {
 			return nil, fmt.Errorf("lockbench: -tol-cols %s: bad tolerance %q", name, val)
 		}
 		out[name] = f
+	}
+	return out, nil
+}
+
+// queryFlags carries the axis-aware query the run (and its baseline)
+// is pushed through: -slice fixes first, then -project.
+type queryFlags struct {
+	fixes   []results.Fix
+	project []string
+}
+
+func (q queryFlags) active() bool { return len(q.fixes) > 0 || len(q.project) > 0 }
+
+// apply transforms a run through the requested slice and projection.
+func (q queryFlags) apply(run *results.Run) (*results.Run, error) {
+	var err error
+	if len(q.fixes) > 0 {
+		run, err = results.Slice(run, q.fixes)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(q.project) > 0 {
+		run, err = results.Project(run, q.project)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return run, nil
+}
+
+// applyToBaseline mirrors the queries onto a baseline that still
+// carries the queried axes; a baseline already on the target plane —
+// e.g. the retired single-axis spec a folded multi-axis spec absorbed
+// — is used as-is.
+func (q queryFlags) applyToBaseline(base *results.Run) (*results.Run, error) {
+	space := sweep.NewSpace(base.Meta.Axes...)
+	var err error
+	if len(q.fixes) > 0 {
+		// Apply only the fixes whose axis the baseline still carries:
+		// a fix on an axis the baseline never swept means it is already
+		// on that plane (slicing read=90,lock=MUTEX against a legacy
+		// run that only swept lock still works — only lock=MUTEX
+		// applies). If the remaining planes don't line up after that,
+		// ComparePlanes reports the axis mismatch precisely.
+		var present []results.Fix
+		for _, f := range q.fixes {
+			if space.AxisIndex(f.Axis) >= 0 {
+				present = append(present, f)
+			}
+		}
+		if len(present) > 0 {
+			base, err = results.Slice(base, present)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(q.project) > 0 && !axesAreExactly(base.Meta.Axes, q.project) {
+		base, err = results.Project(base, q.project)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return base, nil
+}
+
+// axesAreExactly reports whether the axis names equal the given set
+// (order-insensitively: Project canonicalizes to nesting order).
+func axesAreExactly(axes []sweep.Axis, names []string) bool {
+	if len(axes) != len(names) {
+		return false
+	}
+	have := make(map[string]bool, len(axes))
+	for _, a := range axes {
+		have[a.Name] = true
+	}
+	for _, n := range names {
+		if !have[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// loadBaseline loads the comparison target: a run file directly when
+// the argument names a .json file, else the experiment's unsharded run
+// in a store directory.
+func loadBaseline(arg, experiment string) (*results.Run, error) {
+	if strings.HasSuffix(arg, ".json") {
+		return results.Load(arg)
+	}
+	return results.LoadExperiment(arg, experiment)
+}
+
+// diffBaseline compares a (possibly sliced/projected) run against its
+// baseline and reports whether differences survived the tolerance.
+// Under an active query — or when either run was STORED queried
+// (Meta.Query records a slice/projection applied before saving) — the
+// comparison is plane-wise (results.ComparePlanes): axis metadata
+// must match, tables pair positionally, and cosmetic fields (title,
+// notes, spec hash) are ignored, because the query's whole point is
+// comparing runs of different experiments over the same plane.
+// Otherwise the strict results.Compare applies.
+func diffBaseline(run *results.Run, id, baselineArg string, q queryFlags, tolerance results.Tolerance, tolVal float64) bool {
+	base, err := loadBaseline(baselineArg, id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var rep *results.Report
+	if q.active() || run.Meta.Query != "" || base.Meta.Query != "" {
+		base, err = q.applyToBaseline(base)
+		if err == nil {
+			rep, err = results.ComparePlanes(base, run, tolerance)
+		}
+	} else {
+		rep, err = results.Compare(base, run, tolerance)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("### %s vs baseline %s (tol %g): %s\n", id, baselineArg, tolVal, strings.TrimRight(rep.String(), "\n"))
+	return !rep.Empty()
+}
+
+// parseSlice parses the -slice argument ("axis=value,axis=value").
+func parseSlice(s string) ([]results.Fix, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []results.Fix
+	for _, part := range strings.Split(s, ",") {
+		a, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || a == "" || v == "" {
+			return nil, fmt.Errorf("lockbench: -slice wants axis=value pairs (e.g. 'read=90'), got %q", part)
+		}
+		out = append(out, results.Fix{Axis: a, Value: v})
+	}
+	return out, nil
+}
+
+// parseProject parses the -project argument ("axis,axis").
+func parseProject(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			return nil, fmt.Errorf("lockbench: -project wants comma-separated axis names, got %q", s)
+		}
+		out = append(out, name)
 	}
 	return out, nil
 }

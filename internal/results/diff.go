@@ -171,6 +171,14 @@ func diffTable(base, cur *metrics.Table, tol Tolerance) TableDiff {
 	d := TableDiff{Title: base.Title}
 	d.HeaderDiff = !equalStrings(base.Header, cur.Header)
 	d.NotesDiff = !equalStrings(base.Notes, cur.Notes)
+	diffRowsInto(&d, base, cur, tol)
+	return d
+}
+
+// diffRowsInto compares the data rows of two tables into d — the part
+// of a table diff shared by Diff and the query layer's ComparePlanes
+// (which ignores titles and notes by design).
+func diffRowsInto(d *TableDiff, base, cur *metrics.Table, tol Tolerance) {
 	brows, crows := base.Cells(), cur.Cells()
 	n := len(brows)
 	if len(crows) < n {
@@ -181,7 +189,6 @@ func diffTable(base, cur *metrics.Table, tol Tolerance) TableDiff {
 	for i := 0; i < n; i++ {
 		d.Cells = append(d.Cells, diffRow(base, i, brows[i], crows[i], tol)...)
 	}
-	return d
 }
 
 func diffRow(t *metrics.Table, row int, base, cur []metrics.Value, tol Tolerance) []CellDiff {

@@ -1,0 +1,63 @@
+package results
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoadRun feeds corrupted stored-run files through Load and the
+// query layer: malformed, truncated or adversarial JSON must come back
+// as an error (or a loadable run that every query handles), never as a
+// panic — a store directory survives partial writes, version skew and
+// hand edits. The seed corpus is a real saved baseline plus targeted
+// corruptions of it.
+func FuzzLoadRun(f *testing.F) {
+	// A real saved run (the same bytes `lockbench -json` writes),
+	// including axis metadata so the query layer gets exercised.
+	dir := f.TempDir()
+	path, err := Save(dir, queryRun())
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                                                        // truncated mid-object
+	f.Add(valid[:len(valid)-2])                                                        // missing closing brace
+	f.Add(bytes.Replace(valid, []byte(`"int"`), []byte(`"bogus"`), 1))                 // unknown cell kind
+	f.Add(bytes.Replace(valid, []byte(`"rows"`), []byte(`"rews"`), 1))                 // tables without rows
+	f.Add(bytes.Replace(valid, []byte(`"values"`), []byte(`"vals"`), 1))               // axis without values
+	f.Add(bytes.ReplaceAll(valid, []byte(`"name": "read"`), []byte(`"name": "lock"`))) // duplicate axis names
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"meta":{"axes":[{"name":"a","values":[]}]},"tables":[]}`))
+	f.Add([]byte(`{"meta":{},"tables":[null]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := filepath.Join(t.TempDir(), "run.json")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		run, err := Load(p)
+		if err != nil {
+			return
+		}
+		// Whatever loads must be safe to render, diff and query.
+		for _, tab := range run.Tables {
+			if tab != nil {
+				_ = tab.String()
+			}
+		}
+		_, _ = Compare(run, run, Tolerance{})
+		_, _ = ComparePlanes(run, run, Tolerance{})
+		if len(run.Meta.Axes) > 0 && len(run.Meta.Axes[0].Values) > 0 {
+			a := run.Meta.Axes[0]
+			_, _ = Slice(run, []Fix{{Axis: a.Name, Value: a.Values[0].Text()}})
+		}
+		_, _ = Project(run, nil)
+	})
+}

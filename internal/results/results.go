@@ -1,10 +1,14 @@
 // Package results is the persistent run store of the evaluation: it
 // saves an experiment run — its typed metrics.Tables plus the metadata
 // needed to reproduce it — to a JSON file, loads it back, and
-// structurally diffs two runs with per-column tolerances. It is the
-// machine-readable interface every downstream consumer (CI regression
-// gates, dashboards, paper-scale result caches) builds on: quick CI
-// runs diff against stored full-scale (-scale 1000) baselines without
+// structurally diffs two runs with per-column tolerances. Multi-axis
+// runs additionally record their sweep dimensions (Meta.Axes), which
+// the query layer (query.go) exploits: Slice keeps one plane of the
+// axis space, Project collapses onto an axis subset, and ComparePlanes
+// diffs two runs over the same plane. It is the machine-readable
+// interface every downstream consumer (CI regression gates,
+// dashboards, paper-scale result caches) builds on: quick CI runs diff
+// against stored full-scale (-scale 1000) baselines without
 // re-simulating them.
 package results
 
@@ -52,6 +56,13 @@ type Meta struct {
 	// such axis is declared. Empty for experiments with hand-coded
 	// grids. Merge refuses shards whose axes disagree.
 	Axes []sweep.Axis `json:"axes,omitempty"`
+	// Query records the axis queries (slice/project) applied to a
+	// stored full run, e.g. "slice read=90". Empty for runs saved as
+	// produced. It both documents provenance and keeps a queried run's
+	// file name (see Filename) distinct from the full run's, so saving
+	// a sliced plane into a store directory can never silently
+	// overwrite the expensive full baseline it was cut from.
+	Query string `json:"query,omitempty"`
 	// Version is the git-describable build version (see Version).
 	Version string `json:"version"`
 }
@@ -74,7 +85,24 @@ func (m Meta) Filename() string {
 	if m.ShardCount > 1 {
 		name = fmt.Sprintf("%s.shard%d-of-%d", name, m.ShardIndex, m.ShardCount)
 	}
+	if m.Query != "" {
+		name += "." + sanitizeName(m.Query)
+	}
 	return name + ".json"
+}
+
+// sanitizeName maps a query description onto portable file-name
+// characters.
+func sanitizeName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
 }
 
 // Save writes the run to <dir>/<experiment>.json (creating dir) and
@@ -104,6 +132,13 @@ func Load(path string) (*Run, error) {
 	var r Run
 	if err := json.Unmarshal(b, &r); err != nil {
 		return nil, fmt.Errorf("results: decode %s: %w", path, err)
+	}
+	// A JSON null in the table list decodes without error but every
+	// consumer (String, Diff, the query layer) assumes non-nil tables.
+	for i, t := range r.Tables {
+		if t == nil {
+			return nil, fmt.Errorf("results: decode %s: table %d is null", path, i)
+		}
 	}
 	return &r, nil
 }

@@ -125,7 +125,11 @@ type extraAxis struct {
 }
 
 // extraAxes returns the spec's declared extra axes in their fixed
-// nesting (and column) order: oversub, read, skew.
+// nesting (and column) order: oversub, read, skew. Each axis records
+// its column header (sweep.Axis.Column), so the results query layer
+// can drop the column when the axis is sliced or projected away —
+// read from the same descriptor that builds the header, keeping the
+// two in lockstep.
 func (c *Compiled) extraAxes() []extraAxis {
 	sw := c.Spec.Sweep
 	var out []extraAxis
@@ -140,6 +144,9 @@ func (c *Compiled) extraAxes() []extraAxis {
 	if len(sw.Skew) > 0 {
 		out = append(out, extraAxis{axisOf("skew", sw.Skew), "skew",
 			func(p cellParams) any { return p.skew }})
+	}
+	for i := range out {
+		out[i].axis.Column = out[i].column
 	}
 	return out
 }
@@ -586,7 +593,7 @@ func (c *Compiled) groupLoop(r *systems.Runner, t *machine.Thread, rng *rand.Ran
 			}
 		}
 		for oi := range ops {
-			c.runOp(t, rng, &ops[oi], insts, p.cs)
+			c.runOp(t, rng, &ops[oi], insts, p.cs, iter+1)
 		}
 		counted := r.Note(t, start)
 		if stats != nil && counted {
@@ -602,8 +609,14 @@ func (c *Compiled) groupLoop(r *systems.Runner, t *machine.Thread, rng *rand.Ran
 	}
 }
 
-// runOp executes one loop step.
-func (c *Compiled) runOp(t *machine.Thread, rng *rand.Rand, op *OpSpec, insts []lockInst, axisCS int64) {
+// runOp executes one loop step. iter is the group loop's 1-based
+// iteration number: an every-gated step runs only when iter divides by
+// op.Every, so periodic in-operation work (an SSD read every couple of
+// transactions) stays inside the measured operation.
+func (c *Compiled) runOp(t *machine.Thread, rng *rand.Rand, op *OpSpec, insts []lockInst, axisCS int64, iter int) {
+	if op.Every > 1 && iter%op.Every != 0 {
+		return
+	}
 	rep := op.Repeat
 	if rep == 0 {
 		rep = 1

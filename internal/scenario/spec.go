@@ -167,6 +167,14 @@ type OpSpec struct {
 	CSCycles int64 `json:"cs_cycles,omitempty"`
 	// Repeat runs the step several times per iteration (default 1).
 	Repeat int `json:"repeat,omitempty"`
+	// Every runs the step only on every Every-th iteration of the group
+	// loop (default 0 = every iteration). Unlike the group-level
+	// block_every/block_cycles — which deschedule BETWEEN measured
+	// operations — an every-gated step stays inside the measured
+	// operation, so its cost lands in the latency percentiles: MySQL's
+	// SSD profile issues a blocking read every couple of transactions
+	// and counts the wait against the transaction.
+	Every int `json:"every,omitempty"`
 	// ComputeCycles is lock-free computation (request parsing, planning).
 	ComputeCycles int64 `json:"compute_cycles,omitempty"`
 	// BlockCycles deschedules the thread mid-iteration (blocking I/O).
@@ -526,6 +534,9 @@ func (s *Spec) validateOp(gname string, oi int, op OpSpec, locks map[string]Lock
 	}
 	if op.Repeat < 0 {
 		return false, fmt.Errorf("scenario %s: %s: op %d: negative repeat", s.Name, gname, oi)
+	}
+	if op.Every < 0 {
+		return false, fmt.Errorf("scenario %s: %s: op %d: negative every", s.Name, gname, oi)
 	}
 	if op.ComputeCycles != 0 || op.BlockCycles != 0 {
 		if op.ComputeCycles < 0 || op.BlockCycles < 0 {

@@ -150,6 +150,7 @@ func TestValidationErrors(t *testing.T) {
 			strings.ReplaceAll(validSpec, `"cs_cycles": 100`, `"cs_cycles": 100, "mode": "shared"`),
 			"unknown mode"},
 		{"negative cs", strings.ReplaceAll(validSpec, `"cs_cycles": 100`, `"cs_cycles": -1`), "negative cs_cycles"},
+		{"negative every", strings.ReplaceAll(validSpec, `"cs_cycles": 100`, `"cs_cycles": 100, "every": -2`), "negative every"},
 		{"cs without axis", strings.ReplaceAll(validSpec, `"cs_cycles": 100`, `"cs_cycles": 0`), "needs cs_cycles"},
 		{"op with two kinds",
 			strings.ReplaceAll(validSpec, `"cs_cycles": 100`, `"cs_cycles": 100, "compute_cycles": 5`),

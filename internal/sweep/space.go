@@ -7,7 +7,16 @@ import "lockin/internal/metrics"
 // cell enumeration, table rendering and the results store's run
 // metadata without re-parsing strings.
 type Axis struct {
-	Name   string          `json:"name"`
+	Name string `json:"name"`
+	// Column names the table column that renders this axis's value
+	// when that column exists only because the axis is declared (the
+	// scenario compiler's extra axes: read → "read%", oversub, skew).
+	// Empty for axes whose columns render regardless of declaration
+	// (threads/cs/lock). The results query layer drops the column when
+	// the axis is sliced or projected away. Rendering metadata only:
+	// AxisEqual ignores it, so runs stored before the field existed
+	// stay comparable with fresh ones.
+	Column string          `json:"column,omitempty"`
 	Values []metrics.Value `json:"values"`
 }
 
@@ -23,7 +32,8 @@ func NewAxis(name string, values ...any) Axis {
 // Len returns the number of values on the axis.
 func (a Axis) Len() int { return len(a.Values) }
 
-// AxisEqual reports whether two axes carry the same name and values.
+// AxisEqual reports whether two axes carry the same name and values
+// (Column is rendering metadata and deliberately not compared).
 func AxisEqual(a, b Axis) bool {
 	if a.Name != b.Name || len(a.Values) != len(b.Values) {
 		return false
@@ -108,4 +118,52 @@ func (s Space) Values(index int) []metrics.Value {
 		out[i] = a.Values[coords[i]]
 	}
 	return out
+}
+
+// AxisIndex returns the position of the named axis in nesting order,
+// or -1 when the space has no such axis.
+func (s Space) AxisIndex(name string) int {
+	for i, a := range s.axes {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Fix pins the axes at the given positions (axis position → value
+// index) and returns the remaining sub-space plus the original cell
+// indices of the pinned plane, enumerated in the sub-space's row-major
+// order. Because the free axes keep their nesting order, the returned
+// indices are strictly increasing — a plane slices out of a table
+// without reordering its rows. Pinning every axis yields an empty
+// sub-space and the single pinned cell. Positions and value indices
+// must be in range: callers (the results query layer) resolve axis
+// names and values before fixing.
+func (s Space) Fix(pins map[int]int) (Space, []int) {
+	var free []Axis
+	var freePos []int
+	coords := make([]int, len(s.axes))
+	for i, a := range s.axes {
+		if vi, ok := pins[i]; ok {
+			coords[i] = vi
+			continue
+		}
+		free = append(free, a)
+		freePos = append(freePos, i)
+	}
+	sub := NewSpace(free...)
+	count := 1
+	for _, a := range free {
+		count *= a.Len()
+	}
+	indices := make([]int, 0, count)
+	for j := 0; j < count; j++ {
+		sc := sub.Coords(j)
+		for k, p := range freePos {
+			coords[p] = sc[k]
+		}
+		indices = append(indices, s.Index(coords...))
+	}
+	return sub, indices
 }

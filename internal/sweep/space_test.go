@@ -84,6 +84,81 @@ func TestAxesEqual(t *testing.T) {
 	}
 }
 
+func TestAxisIndex(t *testing.T) {
+	s := NewSpace(NewAxis("read", 90, 10), NewAxis("lock", "MUTEX"))
+	if got := s.AxisIndex("read"); got != 0 {
+		t.Fatalf("AxisIndex(read) = %d, want 0", got)
+	}
+	if got := s.AxisIndex("lock"); got != 1 {
+		t.Fatalf("AxisIndex(lock) = %d, want 1", got)
+	}
+	if got := s.AxisIndex("skew"); got != -1 {
+		t.Fatalf("AxisIndex(skew) = %d, want -1", got)
+	}
+}
+
+// TestFixEnumeratesPlane pins one axis of a 3-axis space and checks
+// the returned sub-space and plane indices against a hand enumeration:
+// the plane must hold exactly the cells whose pinned coordinate
+// matches, in increasing original-index order.
+func TestFixEnumeratesPlane(t *testing.T) {
+	s := NewSpace(
+		NewAxis("read", 90, 50, 10),
+		NewAxis("cs", 1, 2),
+		NewAxis("lock", "A", "B", "C"),
+	)
+	sub, plane := s.Fix(map[int]int{0: 1}) // read=50
+	if got := sub.Axes(); len(got) != 2 || got[0].Name != "cs" || got[1].Name != "lock" {
+		t.Fatalf("sub-space axes = %+v, want cs × lock", got)
+	}
+	if len(plane) != 6 {
+		t.Fatalf("plane has %d cells, want 6", len(plane))
+	}
+	for j, ci := range plane {
+		if co := s.Coords(ci); co[0] != 1 {
+			t.Fatalf("plane cell %d (index %d) has read coord %d, want 1", j, ci, co[0])
+		}
+		if j > 0 && plane[j-1] >= ci {
+			t.Fatalf("plane indices not increasing: %v", plane)
+		}
+		// The sub-space coordinate of plane cell j must match the free
+		// coordinates of the original cell.
+		sc, co := sub.Coords(j), s.Coords(ci)
+		if sc[0] != co[1] || sc[1] != co[2] {
+			t.Fatalf("plane cell %d: sub coords %v, original %v", j, sc, co)
+		}
+	}
+
+	// Pinning an outermost-axis value of 0 must yield the identity
+	// prefix — the folding property the legacy-slice tests rely on.
+	_, prefix := s.Fix(map[int]int{0: 0})
+	for j, ci := range prefix {
+		if j != ci {
+			t.Fatalf("read=90 plane remapped cell %d to %d", j, ci)
+		}
+	}
+
+	// Pinning every axis is the single-cell plane.
+	sub, one := s.Fix(map[int]int{0: 2, 1: 0, 2: 1})
+	if len(sub.Axes()) != 0 {
+		t.Fatalf("fully pinned sub-space still has axes: %+v", sub.Axes())
+	}
+	if len(one) != 1 || one[0] != s.Index(2, 0, 1) {
+		t.Fatalf("fully pinned plane = %v, want [%d]", one, s.Index(2, 0, 1))
+	}
+}
+
+func TestFixOnEmptyAxis(t *testing.T) {
+	s := NewSpace(NewAxis("a", 1, 2), NewAxis("empty"))
+	sub, plane := s.Fix(map[int]int{0: 0})
+	if len(plane) != 0 {
+		t.Fatalf("plane over an empty free axis has %d cells, want 0", len(plane))
+	}
+	if got := sub.Axes(); len(got) != 1 || got[0].Name != "empty" {
+		t.Fatalf("sub-space axes = %+v", got)
+	}
+}
+
 func TestEmptySpace(t *testing.T) {
 	if n := NewSpace().Len(); n != 0 {
 		t.Fatalf("axis-free space has %d cells, want 0", n)

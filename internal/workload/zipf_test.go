@@ -36,6 +36,68 @@ func TestZipfSkewConcentratesOnHead(t *testing.T) {
 	}
 }
 
+// chiSquare returns the chi-square statistic of observed counts
+// against the expected probabilities over total draws.
+func chiSquare(counts []int, prob func(int) float64, total int) float64 {
+	chi2 := 0.0
+	for i, c := range counts {
+		exp := prob(i) * float64(total)
+		d := float64(c) - exp
+		chi2 += d * d / exp
+	}
+	return chi2
+}
+
+// TestZipfChiSquareMatchesSkew is the statistical sanity check behind
+// the hot-stripe axis: the empirical stripe frequencies of a seeded
+// picker must match the configured skew's analytic distribution under
+// a chi-square goodness-of-fit test (fixed seed, so the statistic is
+// deterministic — no flake). The thresholds are the 99.9% critical
+// values for n-1 degrees of freedom; with 200k draws a picker whose
+// distribution drifted from 1/(i+1)^s blows far past them.
+func TestZipfChiSquareMatchesSkew(t *testing.T) {
+	// 99.9% chi-square critical values, indexed by degrees of freedom.
+	crit := map[int]float64{7: 24.32, 15: 37.70}
+	const draws = 200_000
+	cases := []struct {
+		n    int
+		skew float64
+		seed int64
+	}{
+		{16, 0, 1},   // uniform degenerate case
+		{16, 0.8, 2}, // moderate skew (memcached_get's hot stripes)
+		{8, 1.2, 3},  // heavy head concentration
+		{16, 1.1, 4}, // the bundled memcached_get axis value
+	}
+	for _, c := range cases {
+		z := NewZipf(c.n, c.skew)
+		rng := rand.New(rand.NewSource(c.seed))
+		counts := make([]int, c.n)
+		for i := 0; i < draws; i++ {
+			counts[z.Pick(rng)]++
+		}
+		chi2 := chiSquare(counts, z.Prob, draws)
+		if limit := crit[c.n-1]; chi2 > limit {
+			t.Errorf("n=%d skew=%g: chi-square %.2f exceeds the 99.9%% critical value %.2f (df %d): frequencies do not match the configured skew",
+				c.n, c.skew, chi2, limit, c.n-1)
+		}
+	}
+
+	// Distinguishability control: the same frequencies tested against
+	// the WRONG distribution (uniform expectation for skew-1.2 draws)
+	// must fail spectacularly — otherwise the test above proves nothing.
+	z := NewZipf(8, 1.2)
+	rng := rand.New(rand.NewSource(3))
+	counts := make([]int, 8)
+	for i := 0; i < draws; i++ {
+		counts[z.Pick(rng)]++
+	}
+	uniform := func(int) float64 { return 1.0 / 8 }
+	if chi2 := chiSquare(counts, uniform, draws); chi2 < crit[7]*10 {
+		t.Fatalf("skew-1.2 frequencies fit a uniform expectation (chi-square %.2f) — the test has no power", chi2)
+	}
+}
+
 func TestZipfPickDeterministicAndInRange(t *testing.T) {
 	z := NewZipf(8, 0.9)
 	a, b := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
