@@ -4,7 +4,7 @@
 GO      ?= go
 WORKERS ?= 0# sweep workers: 0 = all CPUs, 1 = serial
 
-.PHONY: build test race bench lint sweep smoke results scenarios ci
+.PHONY: build test race bench lint sweep smoke results scenarios serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -92,4 +92,11 @@ scenarios:
 	$(GO) run ./cmd/lockbench -experiment scenario:hamsterdb -quick -scale 0.25 -workers 4 -slice read=90 -baseline /tmp/lockin-scen/q-legacy/scenario-hamsterdb_rd.json -diff > /dev/null
 	$(GO) run ./cmd/lockbench -load /tmp/lockin-scen/q-ma/scenario-hamsterdb.json -project lock > /dev/null
 
-ci: lint build test race smoke results scenarios bench
+# The CI serve gate: build the benchmark service, drive it with curl —
+# enqueue, poll, dedupe (a second identical POST answers from the
+# content-addressed run cache without simulating), and check the slice
+# endpoint answers byte-identically to the CLI over the same stored run.
+serve-smoke:
+	sh scripts/serve-smoke.sh
+
+ci: lint build test race smoke results scenarios serve-smoke bench

@@ -1,6 +1,6 @@
 // Command lockbench regenerates the paper's tables and figures on the
-// simulated Xeon, runs declarative scenario specs, and manages the
-// persistent results store.
+// simulated Xeon, runs declarative scenario specs, manages the
+// persistent results store, and serves it all over HTTP.
 //
 // Usage:
 //
@@ -55,48 +55,62 @@
 // -workers fans the independent grid cells of each experiment out
 // across simulated machines in parallel (0 = one worker per CPU). The
 // output is bit-identical for any worker count.
+//
+// The benchmark service (see README "Benchmark service") exposes the
+// same experiments, options and store over HTTP, deduping submissions
+// against a content-addressed run cache:
+//
+//	lockbench serve -addr :8080 -cache runs-cache/
+//
+// Every option is one shared surface (internal/bench/opts): -seed on
+// the command line and ?seed= in a service URL are the same knob with
+// the same default, parser and validation.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"math"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
-	"strconv"
 	"strings"
 	"time"
 
+	"lockin/internal/bench/opts"
 	"lockin/internal/experiments"
 	"lockin/internal/metrics"
 	"lockin/internal/results"
 	"lockin/internal/scenario"
-	"lockin/internal/sweep"
 )
 
 func main() {
+	// `lockbench serve` is a subcommand with its own flag set: the
+	// service options (address, cache, pool) are deployment knobs, not
+	// run options, and must not collide with the run surface.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
+
 	var (
 		list     = flag.Bool("list", false, "list available experiments and exit")
 		id       = flag.String("experiment", "", "experiment id to run, or 'all'")
 		scenFile = flag.String("scenario", "", "run a scenario spec file instead of a registered experiment")
 		validate = flag.Bool("validate-scenarios", false, "parse and compile every bundled scenario spec, then exit")
-		seed     = flag.Int64("seed", 42, "simulation RNG seed")
-		scale    = flag.Float64("scale", 1.0, "measurement-window multiplier")
-		quick    = flag.Bool("quick", false, "trim sweep grids (CI mode)")
-		workers  = flag.Int("workers", 0, "parallel sweep workers (0 = all CPUs, 1 = serial)")
 		progress = flag.Bool("progress", false, "report per-cell sweep progress on stderr")
 		jsonDir  = flag.String("json", "", "save each experiment's tables to <dir>/<id>.json (results store)")
 		baseline = flag.String("baseline", "", "results-store directory to diff this run against")
 		diffGate = flag.Bool("diff", false, "with -baseline: exit 1 when any difference survives the tolerance")
-		tol      = flag.Float64("tol", 0, "relative per-cell tolerance for -baseline comparisons (0 = exact)")
-		tolCols  = flag.String("tol-cols", "", "per-column tolerance overrides for -baseline, comma-separated name=rel (e.g. 'p95(Kcyc)=0.05,thr(Kacq/s)=0.02'); other columns use -tol")
-		shardArg = flag.String("shard", "", "run one shard of each grid, format i/n (e.g. 0/2)")
 		mergeArg = flag.String("merge", "", "comma-separated shard store dirs: merge stored shards instead of simulating")
-		sliceArg = flag.String("slice", "", "fix axes of a multi-axis run, comma-separated axis=value (e.g. 'read=90'); keeps only that plane's rows")
-		projArg  = flag.String("project", "", "collapse a multi-axis run onto these axes, comma-separated (e.g. 'read,lock'); other axes aggregate away (mean)")
 		loadArg  = flag.String("load", "", "query a stored run file instead of simulating (composes with -slice/-project/-json/-baseline/-diff)")
 	)
+	// The shared option surface — seed, scale, quick, workers, shard,
+	// slice, project, tol, tol-cols — binds with its canonical names,
+	// defaults and help strings; the service accepts the same schema as
+	// URL query parameters.
+	shared := opts.FromFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *validate {
@@ -104,25 +118,12 @@ func main() {
 		return
 	}
 
-	fixes, err := parseSlice(*sliceArg)
+	o, err := shared.Options()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintf(os.Stderr, "lockbench: %v\n", err)
 		os.Exit(2)
 	}
-	project, err := parseProject(*projArg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	q := queryFlags{fixes: fixes, project: project}
-
-	tolerance := results.Tolerance{Default: *tol}
-	if cols, err := parseTolCols(*tolCols); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	} else {
-		tolerance.Columns = cols
-	}
+	q := o.Query()
 	if *diffGate && *baseline == "" {
 		fmt.Fprintln(os.Stderr, "lockbench: -diff needs -baseline <dir or run.json>")
 		os.Exit(2)
@@ -131,44 +132,7 @@ func main() {
 	// Query a stored run: no simulation at all, just load → slice/
 	// project → print/save/diff.
 	if *loadArg != "" {
-		if *id != "" || *scenFile != "" || *shardArg != "" || *mergeArg != "" {
-			fmt.Fprintln(os.Stderr, "lockbench: -load queries a stored run; it excludes -experiment/-scenario/-shard/-merge")
-			os.Exit(2)
-		}
-		run, err := results.Load(*loadArg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		// Queries refuse shards themselves; the plain diff path must
-		// too, or a partial shard diffs against a full baseline and
-		// every missing row reads as a regression.
-		if run.Meta.ShardCount > 1 && *baseline != "" {
-			fmt.Fprintf(os.Stderr, "lockbench: %s is shard %d/%d; merge the shards first (-merge)\n",
-				*loadArg, run.Meta.ShardIndex, run.Meta.ShardCount)
-			os.Exit(2)
-		}
-		run, err = q.apply(run)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("### %s (loaded from %s)\n\n", run.Meta.Experiment, *loadArg)
-		printTables(run.Tables)
-		if *jsonDir != "" {
-			path, err := results.Save(*jsonDir, run)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Printf("### saved %s\n\n", path)
-		}
-		if *baseline != "" {
-			if diffBaseline(run, run.Meta.Experiment, *baseline, q, tolerance, *tol) && *diffGate {
-				fmt.Fprintln(os.Stderr, "lockbench: differences against baseline")
-				os.Exit(1)
-			}
-		}
+		queryStored(*loadArg, o, q, *id, *scenFile, *mergeArg, *jsonDir, *baseline, *diffGate)
 		return
 	}
 
@@ -181,74 +145,24 @@ func main() {
 		return
 	}
 
-	shardIdx, shardCnt, err := parseShard(*shardArg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
 	if *id != "" && *scenFile != "" {
 		fmt.Fprintln(os.Stderr, "lockbench: -experiment and -scenario are mutually exclusive")
 		os.Exit(2)
 	}
-	if *baseline != "" && shardCnt > 1 {
+	if *baseline != "" && o.ShardCount > 1 {
 		fmt.Fprintln(os.Stderr, "lockbench: -baseline compares full runs; merge the shards first (-merge)")
 		os.Exit(2)
 	}
-	if q.active() && shardCnt > 1 {
+	if q.Active() && o.ShardCount > 1 {
 		fmt.Fprintln(os.Stderr, "lockbench: -slice/-project query full runs; merge the shards first (-merge)")
 		os.Exit(2)
 	}
-	if *mergeArg != "" && shardCnt > 1 {
+	if *mergeArg != "" && o.ShardCount > 1 {
 		fmt.Fprintln(os.Stderr, "lockbench: -merge and -shard are mutually exclusive")
 		os.Exit(2)
 	}
 
-	opts := experiments.Options{
-		Seed: *seed, Scale: *scale, Quick: *quick, Workers: *workers,
-		ShardIndex: shardIdx, ShardCount: shardCnt,
-	}
-	var todo []experiments.Experiment
-	switch {
-	case *scenFile != "":
-		data, err := os.ReadFile(*scenFile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "lockbench: read scenario spec: %v\n", err)
-			os.Exit(2)
-		}
-		c, err := scenario.ParseAndCompile(data)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		todo = []experiments.Experiment{c.Experiment()}
-	case *id == "all":
-		todo = experiments.All()
-	default:
-		e, err := experiments.Find(*id)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		todo = []experiments.Experiment{e}
-	}
-	// Aggregate experiments post-process statistics across all grid
-	// cells; a shard's table is a partial summary, not a row slice, so
-	// merging shards would produce duplicated, wrong rows. Refuse them.
-	if shardCnt > 1 || *mergeArg != "" {
-		kept := todo[:0]
-		for _, e := range todo {
-			if !e.Aggregate {
-				kept = append(kept, e)
-				continue
-			}
-			if *id != "all" {
-				fmt.Fprintf(os.Stderr, "lockbench: %s aggregates statistics across its whole grid; shards cannot be merged — run it unsharded\n", e.ID)
-				os.Exit(2)
-			}
-			fmt.Fprintf(os.Stderr, "lockbench: skipping aggregate experiment %s under -shard/-merge; run it unsharded\n", e.ID)
-		}
-		todo = kept
-	}
+	todo := selectExperiments(*id, *scenFile, *mergeArg, o)
 
 	differs := false
 	for _, e := range todo {
@@ -259,7 +173,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			run, err = q.apply(run)
+			run, err = q.Apply(run)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -267,47 +181,7 @@ func main() {
 			fmt.Printf("### %s — %s (merged from stored shards)\n\n", e.ID, e.Title)
 			printTables(run.Tables)
 		} else {
-			if *progress {
-				eID := e.ID
-				opts.Progress = func(done, total int) {
-					fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells", eID, done, total)
-					if done == total {
-						fmt.Fprintln(os.Stderr)
-					}
-				}
-			}
-			start := time.Now()
-			fmt.Printf("### %s — %s\n", e.ID, e.Title)
-			fmt.Printf("### paper: %s\n\n", e.Paper)
-			var axes []sweep.Axis
-			if e.Axes != nil {
-				axes = e.Axes(opts)
-			}
-			// Reject a bad query against the declared axes BEFORE the
-			// simulation: a typo'd axis or value must cost milliseconds,
-			// not discard an hours-long -scale run.
-			if q.active() {
-				if err := results.ValidateQuery(axes, q.fixes, q.project); err != nil {
-					fmt.Fprintf(os.Stderr, "%v (experiment %s)\n", err, e.ID)
-					os.Exit(1)
-				}
-			}
-			tables := e.Run(opts)
-			run = &results.Run{
-				Meta: results.Meta{
-					Experiment: e.ID, Seed: *seed, Scale: *scale, Quick: *quick,
-					Workers: *workers, ShardIndex: shardIdx, ShardCount: shardCnt,
-					SpecHash: e.SpecHash, Axes: axes, Version: results.Version(),
-				},
-				Tables: tables,
-			}
-			run, err = q.apply(run)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			printTables(run.Tables)
-			fmt.Printf("### %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+			run = simulate(e, o, q, *progress)
 		}
 
 		if *jsonDir != "" {
@@ -318,7 +192,7 @@ func main() {
 			}
 			fmt.Printf("### saved %s\n\n", path)
 		}
-		if *baseline != "" && diffBaseline(run, e.ID, *baseline, q, tolerance, *tol) {
+		if *baseline != "" && diffBaseline(run, e.ID, *baseline, q, o) {
 			differs = true
 		}
 	}
@@ -326,6 +200,133 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lockbench: differences against baseline")
 		os.Exit(1)
 	}
+}
+
+// queryStored is the -load path: answer slice/project/save/diff from a
+// stored run file without simulating.
+func queryStored(path string, o opts.Options, q opts.Query, id, scenFile, mergeArg, jsonDir, baseline string, diffGate bool) {
+	if id != "" || scenFile != "" || o.ShardCount > 0 || mergeArg != "" {
+		fmt.Fprintln(os.Stderr, "lockbench: -load queries a stored run; it excludes -experiment/-scenario/-shard/-merge")
+		os.Exit(2)
+	}
+	run, err := results.Load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// Queries refuse shards themselves; the plain diff path must
+	// too, or a partial shard diffs against a full baseline and
+	// every missing row reads as a regression.
+	if run.Meta.ShardCount > 1 && baseline != "" {
+		fmt.Fprintf(os.Stderr, "lockbench: %s is shard %d/%d; merge the shards first (-merge)\n",
+			path, run.Meta.ShardIndex, run.Meta.ShardCount)
+		os.Exit(2)
+	}
+	run, err = q.Apply(run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("### %s (loaded from %s)\n\n", run.Meta.Experiment, path)
+	printTables(run.Tables)
+	if jsonDir != "" {
+		saved, err := results.Save(jsonDir, run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("### saved %s\n\n", saved)
+	}
+	if baseline != "" {
+		if diffBaseline(run, run.Meta.Experiment, baseline, q, o) && diffGate {
+			fmt.Fprintln(os.Stderr, "lockbench: differences against baseline")
+			os.Exit(1)
+		}
+	}
+}
+
+// selectExperiments resolves -experiment/-scenario into the list of
+// experiments to run, dropping aggregates under sharding (their tables
+// are whole-grid statistics; a shard's table is a partial summary, not
+// a row slice, so merging shards would produce duplicated, wrong rows).
+func selectExperiments(id, scenFile, mergeArg string, o opts.Options) []experiments.Experiment {
+	var todo []experiments.Experiment
+	switch {
+	case scenFile != "":
+		data, err := os.ReadFile(scenFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lockbench: read scenario spec: %v\n", err)
+			os.Exit(2)
+		}
+		c, err := scenario.ParseAndCompile(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		todo = []experiments.Experiment{c.Experiment()}
+	case id == "all":
+		todo = experiments.All()
+	default:
+		e, err := experiments.Find(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		todo = []experiments.Experiment{e}
+	}
+	if o.ShardCount > 1 || mergeArg != "" {
+		kept := todo[:0]
+		for _, e := range todo {
+			if !e.Aggregate {
+				kept = append(kept, e)
+				continue
+			}
+			if id != "all" {
+				fmt.Fprintf(os.Stderr, "lockbench: %s aggregates statistics across its whole grid; shards cannot be merged — run it unsharded\n", e.ID)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "lockbench: skipping aggregate experiment %s under -shard/-merge; run it unsharded\n", e.ID)
+		}
+		todo = kept
+	}
+	return todo
+}
+
+// simulate runs one experiment under the shared options and returns
+// the (possibly sliced/projected) run, printing its tables.
+func simulate(e experiments.Experiment, o opts.Options, q opts.Query, progress bool) *results.Run {
+	eo := o.ExperimentOptions()
+	if progress {
+		eID := e.ID
+		eo.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells", eID, done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	start := time.Now()
+	fmt.Printf("### %s — %s\n", e.ID, e.Title)
+	fmt.Printf("### paper: %s\n\n", e.Paper)
+	meta := o.RunMeta(e)
+	// Reject a bad query against the declared axes BEFORE the
+	// simulation: a typo'd axis or value must cost milliseconds,
+	// not discard an hours-long -scale run.
+	if q.Active() {
+		if err := results.ValidateQuery(meta.Axes, q.Fixes, q.Keep); err != nil {
+			fmt.Fprintf(os.Stderr, "%v (experiment %s)\n", err, e.ID)
+			os.Exit(1)
+		}
+	}
+	run := &results.Run{Meta: meta, Tables: e.Run(eo)}
+	run, err := q.Apply(run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	printTables(run.Tables)
+	fmt.Printf("### %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	return run
 }
 
 // listExperiments prints every registered experiment — the built-in
@@ -364,118 +365,19 @@ func printTables(tabs []*metrics.Table) {
 	}
 }
 
-// parseTolCols parses the -tol-cols argument ("name=rel,name=rel")
-// into per-column tolerance overrides. Column names are header cells
-// ("p95(Kcyc)", "thr[readers](Kacq/s)") — they never contain '=' or
-// ',', so splitting on those is unambiguous.
-func parseTolCols(s string) (map[string]float64, error) {
-	if s == "" {
-		return nil, nil
-	}
-	out := map[string]float64{}
-	for _, part := range strings.Split(s, ",") {
-		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
-		if !ok || name == "" {
-			return nil, fmt.Errorf("lockbench: -tol-cols wants name=rel pairs, got %q", part)
-		}
-		f, err := strconv.ParseFloat(val, 64)
-		// !(f >= 0) also rejects NaN, which would otherwise disable
-		// every comparison on the column.
-		if err != nil || !(f >= 0) || math.IsInf(f, 0) {
-			return nil, fmt.Errorf("lockbench: -tol-cols %s: bad tolerance %q", name, val)
-		}
-		out[name] = f
-	}
-	return out, nil
-}
-
-// queryFlags carries the axis-aware query the run (and its baseline)
-// is pushed through: -slice fixes first, then -project.
-type queryFlags struct {
-	fixes   []results.Fix
-	project []string
-}
-
-func (q queryFlags) active() bool { return len(q.fixes) > 0 || len(q.project) > 0 }
-
-// apply transforms a run through the requested slice and projection.
-func (q queryFlags) apply(run *results.Run) (*results.Run, error) {
-	var err error
-	if len(q.fixes) > 0 {
-		run, err = results.Slice(run, q.fixes)
-		if err != nil {
-			return nil, err
-		}
-	}
-	if len(q.project) > 0 {
-		run, err = results.Project(run, q.project)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return run, nil
-}
-
-// applyToBaseline mirrors the queries onto a baseline that still
-// carries the queried axes; a baseline already on the target plane —
-// e.g. the retired single-axis spec a folded multi-axis spec absorbed
-// — is used as-is.
-func (q queryFlags) applyToBaseline(base *results.Run) (*results.Run, error) {
-	space := sweep.NewSpace(base.Meta.Axes...)
-	var err error
-	if len(q.fixes) > 0 {
-		// Apply only the fixes whose axis the baseline still carries:
-		// a fix on an axis the baseline never swept means it is already
-		// on that plane (slicing read=90,lock=MUTEX against a legacy
-		// run that only swept lock still works — only lock=MUTEX
-		// applies). If the remaining planes don't line up after that,
-		// ComparePlanes reports the axis mismatch precisely.
-		var present []results.Fix
-		for _, f := range q.fixes {
-			if space.AxisIndex(f.Axis) >= 0 {
-				present = append(present, f)
-			}
-		}
-		if len(present) > 0 {
-			base, err = results.Slice(base, present)
-			if err != nil {
-				return nil, err
-			}
-		}
-	}
-	if len(q.project) > 0 && !axesAreExactly(base.Meta.Axes, q.project) {
-		base, err = results.Project(base, q.project)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return base, nil
-}
-
-// axesAreExactly reports whether the axis names equal the given set
-// (order-insensitively: Project canonicalizes to nesting order).
-func axesAreExactly(axes []sweep.Axis, names []string) bool {
-	if len(axes) != len(names) {
-		return false
-	}
-	have := make(map[string]bool, len(axes))
-	for _, a := range axes {
-		have[a.Name] = true
-	}
-	for _, n := range names {
-		if !have[n] {
-			return false
-		}
-	}
-	return true
-}
-
 // loadBaseline loads the comparison target: a run file directly when
 // the argument names a .json file, else the experiment's unsharded run
-// in a store directory.
+// in a store directory. The two failure modes stay distinct: a .json
+// path that does not exist is a missing file, while a directory
+// argument distinguishes "no such store directory" from "store exists
+// but holds no run for this experiment" (results.LoadExperiment).
 func loadBaseline(arg, experiment string) (*results.Run, error) {
 	if strings.HasSuffix(arg, ".json") {
-		return results.Load(arg)
+		run, err := results.Load(arg)
+		if err != nil && errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("baseline run file %s does not exist — save one first with -json, or pass its store directory", arg)
+		}
+		return run, err
 	}
 	return results.LoadExperiment(arg, experiment)
 }
@@ -489,80 +391,27 @@ func loadBaseline(arg, experiment string) (*results.Run, error) {
 // notes, spec hash) are ignored, because the query's whole point is
 // comparing runs of different experiments over the same plane.
 // Otherwise the strict results.Compare applies.
-func diffBaseline(run *results.Run, id, baselineArg string, q queryFlags, tolerance results.Tolerance, tolVal float64) bool {
+func diffBaseline(run *results.Run, id, baselineArg string, q opts.Query, o opts.Options) bool {
 	base, err := loadBaseline(baselineArg, id)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	var rep *results.Report
-	if q.active() || run.Meta.Query != "" || base.Meta.Query != "" {
-		base, err = q.applyToBaseline(base)
+	if q.Active() || run.Meta.Query != "" || base.Meta.Query != "" {
+		base, err = q.ApplyToBaseline(base)
 		if err == nil {
-			rep, err = results.ComparePlanes(base, run, tolerance)
+			rep, err = results.ComparePlanes(base, run, o.Tolerance())
 		}
 	} else {
-		rep, err = results.Compare(base, run, tolerance)
+		rep, err = results.Compare(base, run, o.Tolerance())
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("### %s vs baseline %s (tol %g): %s\n", id, baselineArg, tolVal, strings.TrimRight(rep.String(), "\n"))
+	fmt.Printf("### %s vs baseline %s (tol %g): %s\n", id, baselineArg, o.Tol, strings.TrimRight(rep.String(), "\n"))
 	return !rep.Empty()
-}
-
-// parseSlice parses the -slice argument ("axis=value,axis=value").
-func parseSlice(s string) ([]results.Fix, error) {
-	if s == "" {
-		return nil, nil
-	}
-	var out []results.Fix
-	for _, part := range strings.Split(s, ",") {
-		a, v, ok := strings.Cut(strings.TrimSpace(part), "=")
-		if !ok || a == "" || v == "" {
-			return nil, fmt.Errorf("lockbench: -slice wants axis=value pairs (e.g. 'read=90'), got %q", part)
-		}
-		out = append(out, results.Fix{Axis: a, Value: v})
-	}
-	return out, nil
-}
-
-// parseProject parses the -project argument ("axis,axis").
-func parseProject(s string) ([]string, error) {
-	if s == "" {
-		return nil, nil
-	}
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		name := strings.TrimSpace(part)
-		if name == "" {
-			return nil, fmt.Errorf("lockbench: -project wants comma-separated axis names, got %q", s)
-		}
-		out = append(out, name)
-	}
-	return out, nil
-}
-
-// parseShard parses "i/n" into (i, n); an empty argument is unsharded.
-func parseShard(s string) (idx, count int, err error) {
-	if s == "" {
-		return 0, 0, nil
-	}
-	is, ns, ok := strings.Cut(s, "/")
-	if ok {
-		idx, err = strconv.Atoi(is)
-		if err == nil {
-			count, err = strconv.Atoi(ns)
-		}
-	}
-	if !ok || err != nil {
-		return 0, 0, fmt.Errorf("lockbench: -shard wants i/n (e.g. 0/2), got %q", s)
-	}
-	if count < 1 || idx < 0 || idx >= count {
-		return 0, 0, fmt.Errorf("lockbench: -shard %q out of range", s)
-	}
-	return idx, count, nil
 }
 
 // mergeStored loads the stored shard runs of one experiment from the

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lockin/internal/serve"
+)
+
+// runServe is the `lockbench serve` subcommand: the benchmark service
+// over the experiment registry and the results store. Running it from
+// the same binary as the CLI matters for byte-identity — both stamp
+// runs with the same results.Version, so a run cached by the service
+// diffs clean against one the CLI stored.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("lockbench serve", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: lockbench serve [flags]")
+		fmt.Fprintln(fs.Output(), "\nthe benchmark service: POST runs, GET cached results and axis queries over HTTP")
+		fmt.Fprintln(fs.Output(), "(see README \"Benchmark service\" for the endpoint and query-parameter reference)")
+		fmt.Fprintln(fs.Output())
+		fs.PrintDefaults()
+	}
+	var (
+		addr  = fs.String("addr", ":8347", "listen address")
+		cache = fs.String("cache", "runs-cache", "run-cache directory: completed runs land here as <cache key>.json; identical submissions answer from it without simulating")
+		pool  = fs.Int("pool", 2, "sweeps simulated concurrently (each sweep additionally parallelizes per its workers option)")
+		queue = fs.Int("queue", 64, "submission queue depth; a full queue answers 503 instead of buffering unboundedly")
+		quiet = fs.Bool("quiet", false, "suppress per-request and per-job log lines")
+	)
+	fs.Parse(args) // ExitOnError: a bad flag exits 2
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = nil
+	}
+	srv, err := serve.New(serve.Config{
+		CacheDir: *cache, Pool: *pool, QueueDepth: *queue, Log: logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lockbench serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Shut down cleanly on SIGINT/SIGTERM: stop accepting requests,
+	// then drain queued and in-flight sweeps so no cache write is torn.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	logger.Printf("lockbench serve: listening on %s (cache %s, pool %d)", *addr, *cache, *pool)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "lockbench serve: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	logger.Printf("lockbench serve: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	hs.Shutdown(shutCtx)
+	srv.Close()
+}

@@ -7,6 +7,14 @@
 // same results store as experiment runs — a platform's tuning numbers
 // can be saved once and diffed whenever the simulator's futex or
 // coherence model changes.
+//
+// The execution options — -seed, -scale, -quick, -workers — are the
+// shared surface (internal/bench/opts), identical in name, default and
+// validation to lockbench and the benchmark service. -scale lengthens
+// the waker's settle window before the wake probe; the three
+// calibration probes are inherently sequential (each one measures a
+// single interaction), so -workers and -quick only annotate the stored
+// metadata.
 package main
 
 import (
@@ -14,6 +22,7 @@ import (
 	"fmt"
 	"os"
 
+	"lockin/internal/bench/opts"
 	"lockin/internal/machine"
 	"lockin/internal/metrics"
 	"lockin/internal/results"
@@ -21,13 +30,19 @@ import (
 )
 
 func main() {
-	seed := flag.Int64("seed", 42, "simulation RNG seed")
 	jsonDir := flag.String("json", "", "save the table to <dir>/mutexeetune.json (results store)")
+	shared := opts.FromRunFlags(flag.CommandLine)
 	flag.Parse()
 
-	sleepLat := measureSleepLatency(*seed)
-	turnaround := measureTurnaround(*seed)
-	coherence := measureCoherence(*seed)
+	o, err := shared.Options()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mutexeetune: %v\n", err)
+		os.Exit(2)
+	}
+
+	sleepLat := measureSleepLatency(o.Seed)
+	turnaround := measureTurnaround(o.Seed, sim.Cycles(50_000*o.Scale))
+	coherence := measureCoherence(o.Seed)
 
 	// The paper's rules of thumb: the lock-side spin must comfortably
 	// exceed the sleep latency (spinning less than ≈4000 cycles makes
@@ -51,10 +66,7 @@ func main() {
 
 	if *jsonDir != "" {
 		run := &results.Run{
-			Meta: results.Meta{
-				Experiment: "mutexeetune", Seed: *seed, Scale: 1,
-				Version: results.Version(),
-			},
+			Meta:   o.Meta("mutexeetune"),
 			Tables: []*metrics.Table{t},
 		}
 		path, err := results.Save(*jsonDir, run)
@@ -86,7 +98,9 @@ func measureSleepLatency(seed int64) sim.Cycles {
 }
 
 // measureTurnaround times wake-to-running for a freshly slept thread.
-func measureTurnaround(seed int64) sim.Cycles {
+// settle is how long the waker computes before issuing the wake, so
+// the sleeper is reliably descheduled first (scaled by -scale).
+func measureTurnaround(seed int64, settle sim.Cycles) sim.Cycles {
 	m := machine.NewDefault(seed)
 	line := m.NewLine("word")
 	line.Init(1)
@@ -97,7 +111,7 @@ func measureTurnaround(seed int64) sim.Cycles {
 		resumed = t.Proc().Now()
 	})
 	m.Spawn("waker", func(t *machine.Thread) {
-		t.Compute(50_000)
+		t.Compute(settle)
 		issued = t.Proc().Now()
 		t.FutexWake(w, 1)
 	})

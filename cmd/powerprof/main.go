@@ -7,6 +7,12 @@
 // simulated machines in parallel with byte-identical output for any
 // worker count. -json drops the table into the results store so power
 // profiles diff like any experiment run.
+//
+// The execution options — -seed, -scale, -quick, -workers — are the
+// shared surface (internal/bench/opts), identical in name, default and
+// validation to lockbench and the benchmark service: -scale lengthens
+// each cell's measurement window, -quick coarsens the thread-count
+// grid (doubled step) for CI runs.
 package main
 
 import (
@@ -14,11 +20,13 @@ import (
 	"fmt"
 	"os"
 
+	"lockin/internal/bench/opts"
 	"lockin/internal/core"
 	"lockin/internal/machine"
 	"lockin/internal/metrics"
 	"lockin/internal/power"
 	"lockin/internal/results"
+	"lockin/internal/sim"
 	"lockin/internal/sweep"
 	"lockin/internal/systems"
 	"lockin/internal/workload"
@@ -26,19 +34,27 @@ import (
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 42, "simulation RNG seed")
 		vfs     = flag.String("vf", "max", "voltage-frequency point: min or max")
 		step    = flag.Int("step", 5, "thread-count step")
 		max     = flag.Int("max", 40, "largest hyper-thread count to profile")
 		mode    = flag.String("workload", "mem", "workload: mem (memory stress), spin, sleep")
-		workers = flag.Int("workers", 0, "parallel sweep workers (0 = all CPUs, 1 = serial)")
 		jsonDir = flag.String("json", "", "save the table to <dir>/powerprof.json (results store)")
 	)
+	shared := opts.FromRunFlags(flag.CommandLine)
 	flag.Parse()
 
+	o, err := shared.Options()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "powerprof: %v\n", err)
+		os.Exit(2)
+	}
 	if *step < 1 {
 		fmt.Fprintln(os.Stderr, "powerprof: -step must be ≥ 1")
 		os.Exit(2)
+	}
+	effStep := *step
+	if o.Quick {
+		effStep *= 2
 	}
 	vf := power.VFMax
 	if *vfs == "min" {
@@ -47,11 +63,12 @@ func main() {
 
 	t := metrics.NewTable(fmt.Sprintf("power breakdown — %s workload, %s", *mode, vf),
 		"hyper-threads", "total(W)", "package(W)", "cores(W)", "DRAM(W)")
-	g := sweep.NewGrid(sweep.Options{Workers: *workers, Seed: *seed})
-	for n := 0; n <= *max; n += *step {
+	g := sweep.NewGrid(sweep.Options{Workers: o.Workers, Seed: o.Seed})
+	window := sim.Cycles(2_000_000 * o.Scale)
+	for n := 0; n <= *max; n += effStep {
 		n := n
 		g.Add(func(c sweep.Cell) []sweep.Row {
-			p := profile(c.Seed, n, *mode, vf)
+			p := profile(c.Seed, n, *mode, vf, window)
 			return []sweep.Row{{n, p.Total, p.Package, p.Cores, p.DRAM}}
 		})
 	}
@@ -60,10 +77,7 @@ func main() {
 
 	if *jsonDir != "" {
 		run := &results.Run{
-			Meta: results.Meta{
-				Experiment: "powerprof", Seed: *seed, Scale: 1,
-				Workers: *workers, Version: results.Version(),
-			},
+			Meta:   o.Meta("powerprof"),
 			Tables: []*metrics.Table{t},
 		}
 		path, err := results.Save(*jsonDir, run)
@@ -77,11 +91,11 @@ func main() {
 
 // profile measures one cell: the power breakdown of n active
 // hyper-threads under the chosen stressor (n = 0 is the shared idle
-// baseline, systems.IdlePower).
-func profile(seed int64, n int, mode string, vf power.VF) power.Breakdown {
+// baseline, systems.IdlePower) over the scaled measurement window.
+func profile(seed int64, n int, mode string, vf power.VF, window sim.Cycles) power.Breakdown {
 	mc := machine.DefaultConfig(seed)
 	if n == 0 {
-		return systems.IdlePower(mc, 2_000_000)
+		return systems.IdlePower(mc, window)
 	}
 	var d systems.Definition
 	switch mode {
@@ -92,5 +106,5 @@ func profile(seed int64, n int, mode string, vf power.VF) power.Breakdown {
 	default:
 		d = systems.MemoryStress(n, vf)
 	}
-	return d.Run(mc, workload.FactoryFor(core.KindMutex), 300_000, 2_000_000).Power()
+	return d.Run(mc, workload.FactoryFor(core.KindMutex), 300_000, window).Power()
 }

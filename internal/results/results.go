@@ -13,8 +13,11 @@
 package results
 
 import (
+	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"runtime/debug"
@@ -105,19 +108,32 @@ func sanitizeName(s string) string {
 	}, s)
 }
 
+// Encode renders a run exactly as Save writes it — the one byte
+// encoding of a stored run. Every producer (the CLI store, the HTTP
+// service's run cache and query endpoints) shares it, so "the same
+// run" always means "the same bytes" and cross-producer comparisons
+// can use cmp instead of a structural diff. The encoding is
+// deterministic: encoding the same run twice produces the same bytes.
+func Encode(r *Run) ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("results: encode %s: %w", r.Meta.Experiment, err)
+	}
+	return append(b, '\n'), nil
+}
+
 // Save writes the run to <dir>/<experiment>.json (creating dir) and
-// returns the path. The encoding is deterministic: saving the same run
-// twice produces the same bytes.
+// returns the path.
 func Save(dir string, r *Run) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", fmt.Errorf("results: create store %s: %w", dir, err)
 	}
-	b, err := json.MarshalIndent(r, "", "  ")
+	b, err := Encode(r)
 	if err != nil {
-		return "", fmt.Errorf("results: encode %s: %w", r.Meta.Experiment, err)
+		return "", err
 	}
 	path := filepath.Join(dir, r.Meta.Filename())
-	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(path, b, 0o644); err != nil {
 		return "", fmt.Errorf("results: write %s: %w", path, err)
 	}
 	return path, nil
@@ -144,9 +160,89 @@ func Load(path string) (*Run, error) {
 }
 
 // LoadExperiment reads the stored run of one experiment from a store
-// directory (the file Save writes for an unsharded run).
+// directory (the file Save writes for an unsharded run). Its failure
+// modes are deliberately distinct: a store directory that does not
+// exist at all is a different mistake (a mistyped path, a baseline
+// never saved) than a store that exists but holds no run for this
+// experiment, and each gets an actionable message.
 func LoadExperiment(dir, experiment string) (*Run, error) {
-	return Load(filepath.Join(dir, Meta{Experiment: experiment}.Filename()))
+	fi, err := os.Stat(dir)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		return nil, fmt.Errorf("results: store directory %s does not exist — save a baseline there first with -json %s (to compare against a single run file, pass its .json path instead)", dir, dir)
+	case err != nil:
+		return nil, fmt.Errorf("results: store %s: %w", dir, err)
+	case !fi.IsDir():
+		return nil, fmt.Errorf("results: %s is not a store directory (run files are addressed by their .json path)", dir)
+	}
+	path := filepath.Join(dir, Meta{Experiment: experiment}.Filename())
+	if _, err := os.Stat(path); errors.Is(err, fs.ErrNotExist) {
+		ids, lerr := List(dir)
+		switch {
+		case lerr == nil && len(ids) == 0:
+			return nil, fmt.Errorf("results: no stored run for experiment %s: store %s is empty — save one with -json %s", experiment, dir, dir)
+		case lerr == nil:
+			return nil, fmt.Errorf("results: no stored run for experiment %s in %s (stored: %s)", experiment, dir, strings.Join(ids, ", "))
+		}
+		return nil, fmt.Errorf("results: no stored run for experiment %s in %s", experiment, dir)
+	}
+	return Load(path)
+}
+
+// CacheKey returns the content-addressed identity of the run this
+// metadata describes: a sanitized experiment slug (for humans reading
+// the cache directory) plus 16 hex digits hashed from the workload
+// identity — the spec content hash when the run was compiled from a
+// scenario spec, else the experiment id — and the options that change
+// the produced bytes: seed, scale, quick. Workers and sharding are
+// deliberately excluded: the determinism contract makes them
+// output-neutral, so two requests differing only there must hit the
+// same cache entry. The benchmark service dedupes submissions on this
+// key, which is why a scenario spec POSTed by content and the same
+// bundled spec named by id collapse onto one cached run.
+func (m Meta) CacheKey() string {
+	workload := m.SpecHash
+	if workload == "" {
+		workload = m.Experiment
+	}
+	sum := sha256.Sum256(fmt.Appendf(nil, "%s|seed=%d|scale=%g|quick=%t", workload, m.Seed, m.Scale, m.Quick))
+	slug := strings.TrimSuffix(Meta{Experiment: m.Experiment}.Filename(), ".json")
+	return fmt.Sprintf("%s-%x", slug, sum[:8])
+}
+
+// Stored is one run file of a store directory, as listed by
+// ListStored: the addressable key (file name without .json), the file
+// path, and the run's metadata.
+type Stored struct {
+	Key  string `json:"key"`
+	File string `json:"file"`
+	Meta Meta   `json:"meta"`
+}
+
+// ListStored loads the metadata of every run file in a store
+// directory, sorted by key. Unlike List it reads the files, so
+// consumers (the service's run listing) get seeds, scales, axes and
+// spec hashes, not just names.
+func ListStored(dir string) ([]Stored, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("results: list store %s: %w", dir, err)
+	}
+	var out []Stored
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		r, err := Load(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Stored{Key: strings.TrimSuffix(name, ".json"), File: path, Meta: r.Meta})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
 }
 
 // List returns the experiment ids with an unsharded run stored in dir,

@@ -1,6 +1,8 @@
 package results
 
 import (
+	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -338,5 +340,132 @@ func TestFilenameSanitizesScenarioIDs(t *testing.T) {
 	m.ShardIndex, m.ShardCount = 1, 2
 	if got := m.Filename(); got != "scenario-rw95.shard1-of-2.json" {
 		t.Fatalf("sharded Filename() = %q", got)
+	}
+}
+
+// TestEncodeMatchesSave pins the contract the HTTP service's run cache
+// relies on: Encode produces exactly the bytes Save writes, so serving
+// an encoded run and serving the stored file are indistinguishable.
+func TestEncodeMatchesSave(t *testing.T) {
+	dir := t.TempDir()
+	r := demoRun(3.5, 12.25)
+	path, err := Save(dir, r)
+	if err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encoded, err := Encode(r)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if !bytes.Equal(onDisk, encoded) {
+		t.Fatalf("Encode and Save disagree:\n--- file ---\n%s\n--- encode ---\n%s", onDisk, encoded)
+	}
+}
+
+func TestCacheKey(t *testing.T) {
+	base := Meta{Experiment: "fig11", Seed: 42, Scale: 1, Quick: false}
+	key := base.CacheKey()
+	if !strings.HasPrefix(key, "fig11-") || len(key) != len("fig11-")+16 {
+		t.Fatalf("CacheKey = %q, want fig11-<16 hex digits>", key)
+	}
+	if k2 := base.CacheKey(); k2 != key {
+		t.Fatalf("CacheKey not stable: %q vs %q", key, k2)
+	}
+	// Workers and sharding never change the produced bytes, so they
+	// must not change the key — a request differing only there is the
+	// same run.
+	same := base
+	same.Workers, same.ShardIndex, same.ShardCount = 8, 0, 0
+	if same.CacheKey() != key {
+		t.Fatalf("workers changed the cache key: %q vs %q", same.CacheKey(), key)
+	}
+	// Everything that changes the output changes the key.
+	for name, m := range map[string]Meta{
+		"seed":       {Experiment: "fig11", Seed: 43, Scale: 1},
+		"scale":      {Experiment: "fig11", Seed: 42, Scale: 2},
+		"quick":      {Experiment: "fig11", Seed: 42, Scale: 1, Quick: true},
+		"experiment": {Experiment: "fig10", Seed: 42, Scale: 1},
+	} {
+		if m.CacheKey() == key {
+			t.Errorf("changing %s did not change the cache key", name)
+		}
+	}
+	// A spec hash is the workload identity when present: the same spec
+	// content under the same options is one run regardless of how it
+	// was named, so the hash suffix matches while the slug differs.
+	a := Meta{Experiment: "scenario:a", SpecHash: "abcdef123456", Seed: 42, Scale: 1}
+	b := Meta{Experiment: "scenario:b", SpecHash: "abcdef123456", Seed: 42, Scale: 1}
+	if a.CacheKey()[len("scenario-a-"):] != b.CacheKey()[len("scenario-b-"):] {
+		t.Fatalf("same spec hash, different key material: %q vs %q", a.CacheKey(), b.CacheKey())
+	}
+	// The slug is filename-safe even for scenario:* ids.
+	if k := a.CacheKey(); strings.ContainsAny(k, ":/") {
+		t.Fatalf("cache key %q is not filename-safe", k)
+	}
+}
+
+func TestListStored(t *testing.T) {
+	dir := t.TempDir()
+	r1 := demoRun(3.5, 12.25)
+	r2 := demoRun(1, 2)
+	r2.Meta.Experiment = "another"
+	r2.Meta.Seed = 7
+	for _, r := range []*Run{r1, r2} {
+		if _, err := Save(dir, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Non-run files are skipped, not decoded.
+	if err := os.WriteFile(filepath.Join(dir, "scratch.json.tmp"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ListStored(dir)
+	if err != nil {
+		t.Fatalf("ListStored: %v", err)
+	}
+	if len(got) != 2 || got[0].Key != "another" || got[1].Key != "demo" {
+		t.Fatalf("ListStored keys = %+v, want [another demo]", got)
+	}
+	if got[0].Meta.Seed != 7 || !metaEqual(got[1].Meta, r1.Meta) {
+		t.Fatalf("ListStored metadata wrong: %+v", got)
+	}
+}
+
+// TestLoadExperimentErrors pins the -baseline failure modes: a missing
+// store directory and a store without the requested run are different
+// mistakes and must get different, actionable messages.
+func TestLoadExperimentErrors(t *testing.T) {
+	dir := t.TempDir()
+
+	_, err := LoadExperiment(filepath.Join(dir, "nope"), "fig11")
+	if err == nil || !strings.Contains(err.Error(), "does not exist") {
+		t.Errorf("missing dir: err = %v, want 'does not exist'", err)
+	}
+
+	empty := filepath.Join(dir, "empty")
+	if err := os.MkdirAll(empty, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadExperiment(empty, "fig11")
+	if err == nil || !strings.Contains(err.Error(), "is empty") || !strings.Contains(err.Error(), "fig11") {
+		t.Errorf("empty store: err = %v, want 'is empty' naming fig11", err)
+	}
+
+	if _, err := Save(empty, demoRun(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadExperiment(empty, "fig11")
+	if err == nil || !strings.Contains(err.Error(), "no stored run for experiment fig11") ||
+		!strings.Contains(err.Error(), "stored: demo") {
+		t.Errorf("missing run: err = %v, want 'no stored run ... (stored: demo)'", err)
+	}
+
+	file := filepath.Join(empty, "demo.json")
+	if _, err := LoadExperiment(file, "demo"); err == nil || !strings.Contains(err.Error(), "not a store directory") {
+		t.Errorf("file as store: err = %v, want 'not a store directory'", err)
 	}
 }

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"sync"
+
+	"lockin/internal/bench/opts"
+	"lockin/internal/experiments"
+)
+
+// Event is one progress snapshot of a submitted run, both the payload
+// of the SSE stream (/v1/runs/{key}/events) and the status body of a
+// GET on an in-flight run.
+type Event struct {
+	Key    string `json:"key"`
+	Status string `json:"status"` // queued, running, done, failed
+	Done   int    `json:"done"`
+	Total  int    `json:"total"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Terminal reports whether the event ends its stream.
+func (e Event) Terminal() bool { return e.Status == statusDone || e.Status == statusFailed }
+
+const (
+	statusQueued  = "queued"
+	statusRunning = "running"
+	statusDone    = "done"
+	statusFailed  = "failed"
+	statusCached  = "cached"
+)
+
+// job is one deduped submission: the experiment to run, the options to
+// run it under, and the progress state its subscribers stream.
+type job struct {
+	key  string
+	exp  experiments.Experiment
+	opts opts.Options
+
+	mu          sync.Mutex
+	status      string
+	done, total int
+	err         string
+	subs        map[chan Event]bool
+}
+
+func newJob(key string, e experiments.Experiment, o opts.Options) *job {
+	return &job{key: key, exp: e, opts: o, status: statusQueued, subs: map[chan Event]bool{}}
+}
+
+func (j *job) snapshot() Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Event{Key: j.key, Status: j.status, Done: j.done, Total: j.total, Error: j.err}
+}
+
+func (j *job) active() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status == statusQueued || j.status == statusRunning
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.status = statusRunning
+	ev := Event{Key: j.key, Status: j.status, Done: j.done, Total: j.total}
+	j.broadcastLocked(ev)
+	j.mu.Unlock()
+}
+
+// progress is the sweep engine's per-cell hook; it runs on the worker
+// goroutine collecting the sweep, so it must stay cheap and must never
+// block on a slow subscriber.
+func (j *job) progress(done, total int) {
+	j.mu.Lock()
+	j.done, j.total = done, total
+	j.broadcastLocked(Event{Key: j.key, Status: j.status, Done: done, Total: total})
+	j.mu.Unlock()
+}
+
+func (j *job) finish() { j.terminate(statusDone, "") }
+
+func (j *job) fail(msg string) { j.terminate(statusFailed, msg) }
+
+// terminate moves the job to its final state and closes every
+// subscriber channel. The final event is sent best-effort; a
+// subscriber whose buffer is full still observes the close and
+// re-reads the terminal snapshot itself.
+func (j *job) terminate(status, errMsg string) {
+	j.mu.Lock()
+	j.status, j.err = status, errMsg
+	j.broadcastLocked(Event{Key: j.key, Status: status, Done: j.done, Total: j.total, Error: errMsg})
+	for ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+	j.mu.Unlock()
+}
+
+// broadcastLocked fans an event out to every subscriber without
+// blocking: progress events are advisory, and a full buffer simply
+// drops the intermediate update.
+func (j *job) broadcastLocked(ev Event) {
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// subscribe registers a progress listener. The returned channel closes
+// when the job terminates (after a best-effort terminal event); cancel
+// detaches early and is safe to call after termination. Subscribing to
+// an already-terminated job yields a channel carrying the terminal
+// snapshot, then closed.
+func (j *job) subscribe() (<-chan Event, func()) {
+	ch := make(chan Event, 64)
+	j.mu.Lock()
+	if j.subs == nil {
+		ch <- Event{Key: j.key, Status: j.status, Done: j.done, Total: j.total, Error: j.err}
+		close(ch)
+		j.mu.Unlock()
+		return ch, func() {}
+	}
+	j.subs[ch] = true
+	j.mu.Unlock()
+	cancel := func() {
+		j.mu.Lock()
+		if j.subs != nil && j.subs[ch] {
+			delete(j.subs, ch)
+			close(ch)
+		}
+		j.mu.Unlock()
+	}
+	return ch, cancel
+}

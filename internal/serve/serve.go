@@ -1,0 +1,638 @@
+// Package serve is the benchmark service: a long-running HTTP server
+// over the experiment registry and the results store, turning the
+// local regeneration CLI into benchmark-as-a-service. POST /v1/runs
+// enqueues a sweep — a registered experiment id or a scenario spec
+// body — on a bounded worker pool; submissions are deduped by the
+// content-addressed cache key results.Meta.CacheKey (spec hash or
+// experiment id, plus seed/scale/quick) against a run-cache directory,
+// so any run is simulated at most once and every later request is
+// answered from disk without simulating. GET endpoints expose the
+// axis-aware query layer (slice/project/diff) over the cached runs,
+// and /v1/runs/{key}/events streams sweep progress as server-sent
+// events.
+//
+// The CLI and the service share one options schema
+// (internal/bench/opts) and one byte encoding (results.Encode), so an
+// HTTP answer is byte-identical to the matching CLI output: GET
+// /v1/runs/{key} equals the file `lockbench -json` saves, and GET
+// /v1/runs/{key}/slice?read=90 equals the file `lockbench -load …
+// -slice read=90 -json` saves.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lockin/internal/bench/opts"
+	"lockin/internal/experiments"
+	"lockin/internal/results"
+	"lockin/internal/scenario"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// CacheDir is the content-addressed run cache: every completed run
+	// is stored as <CacheDir>/<cache key>.json (results.Encode bytes),
+	// and submissions whose key already exists are answered from it
+	// without simulating. Created if missing. Required.
+	CacheDir string
+	// Pool is the number of sweeps simulated concurrently (each sweep
+	// additionally fans its grid cells across the request's workers
+	// option). Default 2.
+	Pool int
+	// QueueDepth bounds the submission queue: a full queue rejects new
+	// work with 503 instead of buffering unboundedly. Default 64.
+	QueueDepth int
+	// Log receives one line per request and job transition (nil = silent).
+	Log func(format string, args ...any)
+}
+
+// Server is the benchmark service. Create with New, mount Handler, and
+// Close when done (drains in-flight sweeps).
+type Server struct {
+	cfg   Config
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	closed bool
+
+	simulated atomic.Int64
+}
+
+// New creates the cache directory and starts the worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.CacheDir == "" {
+		return nil, errors.New("serve: Config.CacheDir is required")
+	}
+	if cfg.Pool <= 0 {
+		cfg.Pool = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if err := os.MkdirAll(cfg.CacheDir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: create run cache %s: %w", cfg.CacheDir, err)
+	}
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *job, cfg.QueueDepth),
+		jobs:  map[string]*job{},
+	}
+	for i := 0; i < cfg.Pool; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Close stops accepting submissions and waits for queued and running
+// sweeps to finish.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Simulated returns how many sweeps this server actually simulated —
+// cache hits never increment it, which is exactly what the dedupe
+// tests assert.
+func (s *Server) Simulated() int64 { return s.simulated.Load() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log(format, args...)
+	}
+}
+
+// worker drains the submission queue; one worker runs one sweep at a
+// time.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob simulates one submission and lands the result in the cache.
+// The cache file is written atomically (tmp + rename), so a concurrent
+// GET either sees the complete run or none at all.
+func (s *Server) runJob(j *job) {
+	defer func() {
+		if p := recover(); p != nil {
+			j.fail(fmt.Sprintf("simulation panicked: %v", p))
+			s.logf("serve: run %s failed: %v", j.key, p)
+		}
+	}()
+	j.setRunning()
+	s.logf("serve: run %s started (%s, seed %d, scale %g, quick %t)",
+		j.key, j.exp.ID, j.opts.Seed, j.opts.Scale, j.opts.Quick)
+	start := time.Now()
+	eo := j.opts.ExperimentOptions()
+	eo.Progress = j.progress
+	tables := j.exp.Run(eo)
+	run := &results.Run{Meta: j.opts.RunMeta(j.exp), Tables: tables}
+	b, err := results.Encode(run)
+	if err == nil {
+		err = writeAtomic(s.cachePath(j.key), b)
+	}
+	if err != nil {
+		j.fail(err.Error())
+		s.logf("serve: run %s failed: %v", j.key, err)
+		return
+	}
+	s.simulated.Add(1)
+	j.finish()
+	// Drop the finished job from the in-flight table: the cache file is
+	// authoritative now, and every lookup checks the cache first.
+	s.mu.Lock()
+	delete(s.jobs, j.key)
+	s.mu.Unlock()
+	s.logf("serve: run %s done in %v", j.key, time.Since(start).Round(time.Millisecond))
+}
+
+func (s *Server) cachePath(key string) string {
+	return filepath.Join(s.cfg.CacheDir, key+".json")
+}
+
+func writeAtomic(path string, b []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// cachedBytes returns the stored run bytes of a key, or nil.
+func (s *Server) cachedBytes(key string) []byte {
+	b, err := os.ReadFile(s.cachePath(key))
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// jobFor returns the in-flight (or failed) job of a key, if any.
+func (s *Server) jobFor(key string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[key]
+}
+
+var errBusy = errors.New("serve: submission queue is full, retry later")
+
+// enqueue dedupes a submission against the in-flight table and the
+// queue's capacity. It returns the job accepting the submission —
+// either a previously submitted identical one or a fresh one.
+func (s *Server) enqueue(key string, e experiments.Experiment, o opts.Options) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("serve: shutting down")
+	}
+	if j, ok := s.jobs[key]; ok && j.active() {
+		return j, nil
+	}
+	j := newJob(key, e, o)
+	select {
+	case s.queue <- j:
+		s.jobs[key] = j
+		return j, nil
+	default:
+		return nil, errBusy
+	}
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs", s.handleList)
+	mux.HandleFunc("GET /v1/runs/{key}", s.handleGet)
+	mux.HandleFunc("GET /v1/runs/{key}/slice", s.handleSlice)
+	mux.HandleFunc("GET /v1/runs/{key}/project", s.handleProject)
+	mux.HandleFunc("GET /v1/runs/{key}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/diff", s.handleDiff)
+	return s.logRequests(mux)
+}
+
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		s.logf("serve: %s %s (%v)", r.Method, r.URL.RequestURI(), time.Since(start).Round(time.Microsecond))
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// experimentInfo is one row of the /v1/experiments listing — the HTTP
+// form of `lockbench -list`.
+type experimentInfo struct {
+	ID        string `json:"id"`
+	Title     string `json:"title"`
+	Paper     string `json:"paper"`
+	SpecHash  string `json:"spec_hash,omitempty"`
+	Aggregate bool   `json:"aggregate,omitempty"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	var out []experimentInfo
+	for _, id := range experiments.IDs() {
+		e, err := experiments.Find(id)
+		if err != nil {
+			continue // unreachable: IDs() comes from the registry
+		}
+		out = append(out, experimentInfo{ID: e.ID, Title: e.Title, Paper: e.Paper,
+			SpecHash: e.SpecHash, Aggregate: e.Aggregate})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
+}
+
+// submitResponse answers POST /v1/runs.
+type submitResponse struct {
+	Key        string `json:"key"`
+	Experiment string `json:"experiment"`
+	Status     string `json:"status"` // cached, queued, running
+	URL        string `json:"url"`
+}
+
+// handleSubmit accepts a run request: a scenario spec as the body, or
+// a registered experiment named with ?experiment=. Options (seed,
+// scale, quick, workers) come from the URL query under the shared opts
+// schema. The submission dedupes on the content-addressed cache key:
+// an already-cached run answers "cached" immediately and never
+// re-simulates; an in-flight identical submission attaches to the
+// existing job.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	q := r.URL.Query()
+	var expID string
+	if vs := q["experiment"]; len(vs) > 0 {
+		expID = vs[len(vs)-1]
+		q.Del("experiment")
+	}
+	o, err := opts.ApplyQuery(opts.Defaults(), q, "seed", "scale", "quick", "workers")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	var e experiments.Experiment
+	body = bytes.TrimSpace(body)
+	switch {
+	case len(body) > 0 && expID != "":
+		http.Error(w, "give a scenario spec body or ?experiment=<id>, not both", http.StatusBadRequest)
+		return
+	case len(body) > 0:
+		c, err := scenario.ParseAndCompile(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		e = c.Experiment()
+	case expID != "":
+		if expID == "all" {
+			http.Error(w, "the service runs one experiment per submission; POST each id separately", http.StatusBadRequest)
+			return
+		}
+		e, err = experiments.Find(expID)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+	default:
+		http.Error(w, "POST a scenario spec as the body, or name a registered experiment with ?experiment=<id>", http.StatusBadRequest)
+		return
+	}
+
+	key := o.RunMeta(e).CacheKey()
+	resp := submitResponse{Key: key, Experiment: e.ID, URL: "/v1/runs/" + key}
+	if s.cachedBytes(key) != nil {
+		resp.Status = statusCached
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	j, err := s.enqueue(key, e, o)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	resp.Status = j.snapshot().Status
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// handleList answers GET /v1/runs: the cached corpus plus in-flight
+// submissions.
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	stored, err := results.ListStored(s.cfg.CacheDir)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.mu.Lock()
+	active := make([]Event, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		active = append(active, j.snapshot())
+	}
+	s.mu.Unlock()
+	sort.Slice(active, func(i, j int) bool { return active[i].Key < active[j].Key })
+	writeJSON(w, http.StatusOK, map[string]any{"runs": stored, "active": active})
+}
+
+// handleGet serves the stored run bytes of a key — the exact bytes the
+// CLI's -json store would hold — or the submission's status while it
+// is still in flight.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validKey(key) {
+		http.Error(w, "bad run key", http.StatusBadRequest)
+		return
+	}
+	if b := s.cachedBytes(key); b != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+		return
+	}
+	if j := s.jobFor(key); j != nil {
+		ev := j.snapshot()
+		code := http.StatusAccepted
+		if ev.Status == statusFailed {
+			code = http.StatusInternalServerError
+		}
+		writeJSON(w, code, ev)
+		return
+	}
+	http.Error(w, "no such run (POST /v1/runs to submit one)", http.StatusNotFound)
+}
+
+// loadCached loads a cached run for the query endpoints, writing the
+// error response itself when the run is not servable.
+func (s *Server) loadCached(w http.ResponseWriter, key string) *results.Run {
+	if !validKey(key) {
+		http.Error(w, "bad run key", http.StatusBadRequest)
+		return nil
+	}
+	if s.cachedBytes(key) == nil {
+		if j := s.jobFor(key); j != nil {
+			writeJSON(w, http.StatusAccepted, j.snapshot())
+			return nil
+		}
+		http.Error(w, "no such run (POST /v1/runs to submit one)", http.StatusNotFound)
+		return nil
+	}
+	run, err := results.Load(s.cachePath(key))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return nil
+	}
+	return run
+}
+
+// handleSlice answers GET /v1/runs/{key}/slice?axis=value[&axis=value]:
+// every query parameter is one axis fix, exactly the CLI's -slice
+// pairs. The response is the results.Encode bytes of the sliced run —
+// byte-identical to the file `lockbench -load <run> -slice … -json`
+// saves.
+func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
+	run := s.loadCached(w, r.PathValue("key"))
+	if run == nil {
+		return
+	}
+	q := r.URL.Query()
+	keys := make([]string, 0, len(q))
+	for k := range q {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var fixes []results.Fix
+	for _, k := range keys {
+		vs := q[k]
+		fixes = append(fixes, results.Fix{Axis: k, Value: vs[len(vs)-1]})
+	}
+	sliced, err := results.Slice(run, fixes)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeRun(w, sliced)
+}
+
+// handleProject answers GET /v1/runs/{key}/project?axes=a,b — the
+// CLI's -project. An empty axes value collapses every axis into the
+// grand-total row.
+func (s *Server) handleProject(w http.ResponseWriter, r *http.Request) {
+	run := s.loadCached(w, r.PathValue("key"))
+	if run == nil {
+		return
+	}
+	q := r.URL.Query()
+	if !q.Has("axes") {
+		http.Error(w, "project wants ?axes=<axis,axis,...> (empty value folds everything into one row)", http.StatusBadRequest)
+		return
+	}
+	for k := range q {
+		if k != "axes" {
+			http.Error(w, fmt.Sprintf("unknown parameter %q (accepted: axes)", k), http.StatusBadRequest)
+			return
+		}
+	}
+	vs := q["axes"]
+	keep, err := opts.ParseProject(vs[len(vs)-1])
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	projected, err := results.Project(run, keep)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeRun(w, projected)
+}
+
+// diffResponse answers GET /v1/diff.
+type diffResponse struct {
+	A           string  `json:"a"`
+	B           string  `json:"b"`
+	Tol         float64 `json:"tol"`
+	Equal       bool    `json:"equal"`
+	Differences int     `json:"differences"`
+	Report      string  `json:"report"`
+}
+
+// handleDiff answers GET /v1/diff?a=<key>&b=<key>[&tol=…][&tol_cols=…]
+// [&slice=…][&project=…]: run b diffs against baseline a under the
+// shared tolerance options, with the same plane-wise semantics as the
+// CLI's -baseline/-diff under an active query.
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	a, b := q.Get("a"), q.Get("b")
+	q.Del("a")
+	q.Del("b")
+	if a == "" || b == "" {
+		http.Error(w, "diff wants ?a=<baseline key>&b=<current key>", http.StatusBadRequest)
+		return
+	}
+	o, err := opts.ApplyQuery(opts.Defaults(), q, "tol", "tol_cols", "slice", "project")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	base := s.loadCached(w, a)
+	if base == nil {
+		return
+	}
+	cur := s.loadCached(w, b)
+	if cur == nil {
+		return
+	}
+	query := o.Query()
+	cur, err = query.Apply(cur)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var rep *results.Report
+	if query.Active() || cur.Meta.Query != "" || base.Meta.Query != "" {
+		base, err = query.ApplyToBaseline(base)
+		if err == nil {
+			rep, err = results.ComparePlanes(base, cur, o.Tolerance())
+		}
+	} else {
+		rep, err = results.Compare(base, cur, o.Tolerance())
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, diffResponse{
+		A: a, B: b, Tol: o.Tol,
+		Equal: rep.Empty(), Differences: rep.NumDiffs(), Report: rep.String(),
+	})
+}
+
+// handleEvents streams a submission's sweep progress as server-sent
+// events: one "progress" event per finished grid cell, then a terminal
+// "done" (or "failed") event. A key that is already cached answers
+// with the terminal event immediately.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validKey(key) {
+		http.Error(w, "bad run key", http.StatusBadRequest)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+
+	send := func(ev Event) {
+		name := "progress"
+		if ev.Terminal() {
+			name = ev.Status
+		}
+		data, _ := json.Marshal(ev)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data)
+		fl.Flush()
+	}
+
+	j := s.jobFor(key)
+	if j == nil {
+		if s.cachedBytes(key) != nil {
+			send(Event{Key: key, Status: statusDone})
+			return
+		}
+		http.Error(w, "no such run (POST /v1/runs to submit one)", http.StatusNotFound)
+		return
+	}
+	ch, cancel := j.subscribe()
+	defer cancel()
+	send(j.snapshot())
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				// Channel closed; the terminal event may have been
+				// dropped by a full buffer, so re-derive it from the
+				// job's final state.
+				send(j.snapshot())
+				return
+			}
+			send(ev)
+			if ev.Terminal() {
+				return
+			}
+		}
+	}
+}
+
+// writeRun serves a (possibly queried) run in the store's byte
+// encoding.
+func writeRun(w http.ResponseWriter, r *results.Run) {
+	b, err := results.Encode(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(b, '\n'))
+}
+
+// validKey accepts the characters cache keys are built from
+// (results.Meta.CacheKey sanitizes to [A-Za-z0-9._-]) and rejects
+// anything that could escape the cache directory.
+func validKey(key string) bool {
+	if key == "" || key == "." || key == ".." {
+		return false
+	}
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,470 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lockin/internal/results"
+	"lockin/internal/scenario"
+	"lockin/internal/serve"
+)
+
+// testSpec is a tiny but non-trivial scenario: a 1×1×2 grid over the
+// lock axis, short windows, so one submission simulates in well under
+// a second while still carrying axes for slice/project/diff.
+const testSpec = `{
+  "name": "servetest",
+  "title": "Scenario servetest — service e2e grid",
+  "warmup_cycles": 50000,
+  "duration_cycles": 1000000,
+  "locks": [{"name": "hot", "topology": "single"}],
+  "groups": [
+    {"name": "worker", "threads": 0, "outside_cycles": 400,
+     "ops": [{"lock": "hot"}]}
+  ],
+  "sweep": {
+    "threads": [2],
+    "cs": [800],
+    "locks": ["MUTEX", "MUTEXEE"]
+  }
+}`
+
+func newTestServer(t *testing.T) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	srv, err := serve.New(serve.Config{
+		CacheDir: t.TempDir(),
+		Pool:     2,
+		Log:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+	return srv, hs
+}
+
+// get fetches a path and returns status and body.
+func get(t *testing.T, hs *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(hs.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// post submits a run (spec body or empty) and returns status and body.
+func post(t *testing.T, hs *httptest.Server, path, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(hs.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// submitAndWait posts a submission and polls GET /v1/runs/{key} until
+// the run bytes land in the cache, returning the key and the stored
+// bytes.
+func submitAndWait(t *testing.T, hs *httptest.Server, path, body string) (string, []byte) {
+	t.Helper()
+	code, b := post(t, hs, path, body)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("POST %s: status %d, body %s", path, code, b)
+	}
+	var sub struct {
+		Key    string `json:"key"`
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(b, &sub); err != nil {
+		t.Fatalf("submit response %s: %v", b, err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, rb := get(t, hs, "/v1/runs/"+sub.Key)
+		switch code {
+		case http.StatusOK:
+			return sub.Key, rb
+		case http.StatusAccepted:
+			if time.Now().After(deadline) {
+				t.Fatalf("run %s did not finish in time", sub.Key)
+			}
+			time.Sleep(20 * time.Millisecond)
+		default:
+			t.Fatalf("GET /v1/runs/%s: status %d, body %s", sub.Key, code, rb)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, hs := newTestServer(t)
+	code, b := get(t, hs, "/healthz")
+	if code != http.StatusOK || !strings.Contains(string(b), "ok") {
+		t.Fatalf("healthz: status %d, body %q", code, b)
+	}
+}
+
+func TestExperimentsListing(t *testing.T) {
+	_, hs := newTestServer(t)
+	code, b := get(t, hs, "/v1/experiments")
+	if code != http.StatusOK {
+		t.Fatalf("experiments: status %d, body %s", code, b)
+	}
+	var out struct {
+		Experiments []struct {
+			ID       string `json:"id"`
+			SpecHash string `json:"spec_hash"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]string{}
+	for _, e := range out.Experiments {
+		ids[e.ID] = e.SpecHash
+	}
+	if _, ok := ids["fig11"]; !ok {
+		t.Errorf("listing lacks the built-in fig11 experiment: %v", ids)
+	}
+	if hash, ok := ids["scenario:kyoto"]; !ok || hash == "" {
+		t.Errorf("listing lacks bundled scenario:kyoto with a spec hash: %v", ids)
+	}
+}
+
+// TestSubmitPollSliceProjectDiff walks the whole service surface over
+// one submitted spec: enqueue, poll to completion, fetch the run,
+// check the slice endpoint answers byte-identically to the query
+// layer's own encoding, project, and self-diff to equality.
+func TestSubmitPollSliceProjectDiff(t *testing.T) {
+	_, hs := newTestServer(t)
+	key, raw := submitAndWait(t, hs, "/v1/runs?seed=7&quick=1", testSpec)
+
+	run := decodeRun(t, raw)
+	if run.Meta.Experiment != "scenario:servetest" {
+		t.Errorf("experiment = %q, want scenario:servetest", run.Meta.Experiment)
+	}
+	if run.Meta.Seed != 7 || !run.Meta.Quick {
+		t.Errorf("meta did not carry the query options: %+v", run.Meta)
+	}
+	if run.Meta.CacheKey() != key {
+		t.Errorf("stored meta cache key %q != submission key %q", run.Meta.CacheKey(), key)
+	}
+
+	// Slice over HTTP must be byte-identical to slicing the stored run
+	// locally and encoding with the store's encoder — the same
+	// guarantee the CLI's -load/-slice/-json path gives.
+	code, sliced := get(t, hs, "/v1/runs/"+key+"/slice?lock=MUTEX")
+	if code != http.StatusOK {
+		t.Fatalf("slice: status %d, body %s", code, sliced)
+	}
+	wantRun, err := results.Slice(run, []results.Fix{{Axis: "lock", Value: "MUTEX"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := results.Encode(wantRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sliced, want) {
+		t.Errorf("slice over HTTP differs from local slice+encode:\nhttp: %d bytes\nlocal: %d bytes", len(sliced), len(want))
+	}
+
+	code, projected := get(t, hs, "/v1/runs/"+key+"/project?axes=lock")
+	if code != http.StatusOK {
+		t.Fatalf("project: status %d, body %s", code, projected)
+	}
+	var pr results.Run
+	if err := json.Unmarshal(projected, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Meta.Query == "" {
+		t.Errorf("projected run lacks a query annotation: %+v", pr.Meta)
+	}
+
+	code, diff := get(t, hs, "/v1/diff?a="+key+"&b="+key)
+	if code != http.StatusOK {
+		t.Fatalf("diff: status %d, body %s", code, diff)
+	}
+	var dr struct {
+		Equal       bool `json:"equal"`
+		Differences int  `json:"differences"`
+	}
+	if err := json.Unmarshal(diff, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if !dr.Equal || dr.Differences != 0 {
+		t.Errorf("self-diff: equal=%t differences=%d, want equal with none", dr.Equal, dr.Differences)
+	}
+}
+
+// TestDedupeCacheHit is the tentpole acceptance: a second identical
+// POST answers from the cache and never re-simulates.
+func TestDedupeCacheHit(t *testing.T) {
+	srv, hs := newTestServer(t)
+	key, _ := submitAndWait(t, hs, "/v1/runs?quick=1", testSpec)
+	if n := srv.Simulated(); n != 1 {
+		t.Fatalf("after first submission: simulated %d sweeps, want 1", n)
+	}
+
+	code, b := post(t, hs, "/v1/runs?quick=1", testSpec)
+	if code != http.StatusOK {
+		t.Fatalf("second POST: status %d, body %s", code, b)
+	}
+	var sub struct {
+		Key    string `json:"key"`
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(b, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Status != "cached" || sub.Key != key {
+		t.Errorf("second POST: key=%q status=%q, want key=%q status=cached", sub.Key, sub.Status, key)
+	}
+	if n := srv.Simulated(); n != 1 {
+		t.Errorf("second POST re-simulated: %d sweeps, want still 1", n)
+	}
+
+	// Different options are a different workload, not a cache hit.
+	code, b = post(t, hs, "/v1/runs?quick=1&seed=99", testSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("different-seed POST: status %d, body %s", code, b)
+	}
+	if err := json.Unmarshal(b, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Key == key {
+		t.Errorf("different seed mapped to the same cache key %q", key)
+	}
+}
+
+// TestConcurrentIdenticalSubmissions hammers one workload from many
+// clients; the dedupe must collapse them to a single simulation.
+func TestConcurrentIdenticalSubmissions(t *testing.T) {
+	srv, hs := newTestServer(t)
+	const clients = 8
+	keys := make([]string, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(hs.URL+"/v1/runs?quick=1", "application/json", strings.NewReader(testSpec))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+				t.Errorf("client %d: status %d, body %s", i, resp.StatusCode, b)
+				return
+			}
+			var sub struct {
+				Key string `json:"key"`
+			}
+			if err := json.Unmarshal(b, &sub); err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			keys[i] = sub.Key
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < clients; i++ {
+		if keys[i] != keys[0] {
+			t.Fatalf("client %d got key %q, client 0 got %q", i, keys[i], keys[0])
+		}
+	}
+	// Wait for the single run to land, then check exactly one
+	// simulation happened.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, _ := get(t, hs, "/v1/runs/"+keys[0])
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("run never completed")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := srv.Simulated(); n != 1 {
+		t.Errorf("%d concurrent identical submissions simulated %d sweeps, want 1", clients, n)
+	}
+}
+
+func TestListRuns(t *testing.T) {
+	_, hs := newTestServer(t)
+	key, _ := submitAndWait(t, hs, "/v1/runs?quick=1", testSpec)
+	code, b := get(t, hs, "/v1/runs")
+	if code != http.StatusOK {
+		t.Fatalf("list: status %d, body %s", code, b)
+	}
+	var out struct {
+		Runs []struct {
+			Key string `json:"key"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range out.Runs {
+		if r.Key == key {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("list lacks completed run %q: %s", key, b)
+	}
+}
+
+// TestEvents streams the SSE endpoint of a submission and expects a
+// terminal done event; a cached key answers done immediately.
+func TestEvents(t *testing.T) {
+	_, hs := newTestServer(t)
+	key, _ := submitAndWait(t, hs, "/v1/runs?quick=1", testSpec)
+
+	resp, err := http.Get(hs.URL + "/v1/runs/" + key + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content-type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sawDone := false
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "event: done") {
+			sawDone = true
+		}
+	}
+	if !sawDone {
+		t.Error("SSE stream of a cached run never sent event: done")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, hs := newTestServer(t)
+	key, _ := submitAndWait(t, hs, "/v1/runs?quick=1", testSpec)
+
+	cases := []struct {
+		method, path, body string
+		wantCode           int
+		wantMsg            string
+	}{
+		{"POST", "/v1/runs", "", http.StatusBadRequest, "scenario spec"},
+		{"POST", "/v1/runs?scale=abc&experiment=fig11", "", http.StatusBadRequest, "bad scale"},
+		{"POST", "/v1/runs?bogus=1&experiment=fig11", "", http.StatusBadRequest, "unknown parameter"},
+		{"POST", "/v1/runs?slice=read%3D90&experiment=fig11", "", http.StatusBadRequest, "unknown parameter"},
+		{"POST", "/v1/runs?experiment=no-such-exp", "", http.StatusNotFound, "unknown experiment"},
+		{"POST", "/v1/runs?experiment=fig11", testSpec, http.StatusBadRequest, "not both"},
+		{"POST", "/v1/runs", "{not json", http.StatusBadRequest, ""},
+		{"GET", "/v1/runs/" + key + "/slice?nosuchaxis=1", "", http.StatusBadRequest, ""},
+		{"GET", "/v1/runs/" + key + "/project", "", http.StatusBadRequest, "axes"},
+		{"GET", "/v1/runs/" + key + "/project?axes=lock&bogus=1", "", http.StatusBadRequest, "unknown parameter"},
+		{"GET", "/v1/runs/%2e%2e/slice?read=90", "", http.StatusBadRequest, "bad run key"},
+		{"GET", "/v1/diff?a=" + key, "", http.StatusBadRequest, "diff wants"},
+		{"GET", "/v1/diff?a=" + key + "&b=" + key + "&tol=NaN", "", http.StatusBadRequest, "bad tol"},
+		{"GET", "/v1/runs/no-such-key", "", http.StatusNotFound, "no such run"},
+		{"GET", "/v1/runs/no-such-key/slice?read=90", "", http.StatusNotFound, "no such run"},
+	}
+	for _, c := range cases {
+		var code int
+		var b []byte
+		switch c.method {
+		case "GET":
+			code, b = get(t, hs, c.path)
+		case "POST":
+			code, b = post(t, hs, c.path, c.body)
+		}
+		if code != c.wantCode {
+			t.Errorf("%s %s: status %d, want %d (body %s)", c.method, c.path, code, c.wantCode, b)
+			continue
+		}
+		if c.wantMsg != "" && !strings.Contains(string(b), c.wantMsg) {
+			t.Errorf("%s %s: body %q, want containing %q", c.method, c.path, b, c.wantMsg)
+		}
+	}
+}
+
+// TestSubmitByExperimentID runs a registered experiment end to end
+// through the service, by id rather than by spec body.
+func TestSubmitByExperimentID(t *testing.T) {
+	_, hs := newTestServer(t)
+	key, raw := submitAndWait(t, hs,
+		"/v1/runs?experiment="+url.QueryEscape("scenario:kyoto")+"&quick=1", "")
+	run := decodeRun(t, raw)
+	if run.Meta.Experiment != "scenario:kyoto" {
+		t.Errorf("experiment = %q, want scenario:kyoto", run.Meta.Experiment)
+	}
+	if !strings.HasPrefix(key, "scenario-kyoto-") {
+		t.Errorf("cache key %q lacks the experiment slug prefix", key)
+	}
+}
+
+// TestSpecBodyAndIDShareCache submits the bundled kyoto scenario once
+// by spec body and once by id; the spec hash dominates the cache key,
+// so the second submission is a cache hit even though the first named
+// no experiment at all.
+func TestSpecBodyAndIDShareCache(t *testing.T) {
+	srv, hs := newTestServer(t)
+	// Read the spec through the bundle so its bytes — and so its spec
+	// hash — match the registered scenario:kyoto experiment exactly.
+	spec, err := scenario.BundledSpec("kyoto.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key1, _ := submitAndWait(t, hs, "/v1/runs?quick=1", string(spec))
+	code, b := post(t, hs, "/v1/runs?experiment="+url.QueryEscape("scenario:kyoto")+"&quick=1", "")
+	if code != http.StatusOK {
+		t.Fatalf("by-id POST after by-body run: status %d, body %s", code, b)
+	}
+	var sub struct {
+		Key    string `json:"key"`
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(b, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Key != key1 || sub.Status != "cached" {
+		t.Errorf("by-id POST: key=%q status=%q, want key=%q status=cached", sub.Key, sub.Status, key1)
+	}
+	if n := srv.Simulated(); n != 1 {
+		t.Errorf("spec body and id of the same scenario simulated %d sweeps, want 1", n)
+	}
+}
+
+// decodeRun unmarshals stored run bytes the way results.Load does.
+func decodeRun(t *testing.T, raw []byte) *results.Run {
+	t.Helper()
+	var run results.Run
+	if err := json.Unmarshal(raw, &run); err != nil {
+		t.Fatalf("stored run does not decode: %v", err)
+	}
+	return &run
+}

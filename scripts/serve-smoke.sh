@@ -1,0 +1,87 @@
+#!/bin/sh
+# serve-smoke.sh — end-to-end smoke of the benchmark service.
+#
+# Builds lockbench, starts `lockbench serve` against a fresh run cache,
+# and drives the HTTP surface with curl: enqueue a run, poll it to
+# completion, assert a second identical POST is a cache hit (never
+# re-simulates), and check the slice endpoint answers byte-identically
+# to the CLI's -load/-slice/-json path over the same stored run. The
+# CLI and the server are THE SAME binary here on purpose: both stamp
+# runs with the same results version, which the byte-identity check
+# depends on.
+#
+# Used by `make serve-smoke` and the CI serve job.
+set -eu
+
+PORT="${SERVE_SMOKE_PORT:-18347}"
+BASE="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d /tmp/lockin-serve-smoke.XXXXXX)"
+CACHE="$WORK/cache"
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "== build"
+go build -o "$WORK/lockbench" ./cmd/lockbench
+
+echo "== start server on :$PORT"
+"$WORK/lockbench" serve -addr "127.0.0.1:$PORT" -cache "$CACHE" &
+SERVER_PID=$!
+for i in $(seq 1 50); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    if [ "$i" = 50 ]; then echo "server never became healthy" >&2; exit 1; fi
+    sleep 0.2
+done
+
+echo "== experiments listing"
+curl -fsS "$BASE/v1/experiments" > "$WORK/experiments.json"
+grep -q '"scenario:hamsterdb"' "$WORK/experiments.json"
+
+echo "== enqueue scenario:hamsterdb (by id)"
+SUBMIT="$WORK/submit.json"
+curl -fsS -X POST "$BASE/v1/runs?experiment=scenario:hamsterdb&quick=1&scale=0.25" > "$SUBMIT"
+KEY=$(sed -n 's/.*"key": "\([^"]*\)".*/\1/p' "$SUBMIT")
+[ -n "$KEY" ] || { echo "no key in submit response:" >&2; cat "$SUBMIT" >&2; exit 1; }
+echo "   key: $KEY"
+
+echo "== poll until the run lands in the cache"
+for i in $(seq 1 300); do
+    CODE=$(curl -s -o "$WORK/run.json" -w '%{http_code}' "$BASE/v1/runs/$KEY")
+    [ "$CODE" = 200 ] && break
+    [ "$CODE" = 202 ] || { echo "unexpected status $CODE" >&2; cat "$WORK/run.json" >&2; exit 1; }
+    if [ "$i" = 300 ]; then echo "run never completed" >&2; exit 1; fi
+    sleep 1
+done
+
+echo "== second identical POST must be a cache hit"
+curl -fsS -X POST "$BASE/v1/runs?experiment=scenario:hamsterdb&quick=1&scale=0.25" > "$WORK/resubmit.json"
+grep -q '"status": "cached"' "$WORK/resubmit.json" || {
+    echo "second POST was not answered from the cache:" >&2; cat "$WORK/resubmit.json" >&2; exit 1; }
+
+echo "== POSTing the same workload as a spec body is the same cache entry"
+curl -fsS -X POST --data-binary @internal/scenario/specs/hamsterdb.json \
+    "$BASE/v1/runs?quick=1&scale=0.25" > "$WORK/bybody.json"
+grep -q '"status": "cached"' "$WORK/bybody.json" || {
+    echo "spec-body POST of the bundled scenario missed the cache:" >&2; cat "$WORK/bybody.json" >&2; exit 1; }
+grep -q "\"key\": \"$KEY\"" "$WORK/bybody.json"
+
+echo "== GET slice is byte-identical to the CLI's -load/-slice/-json"
+curl -fsS "$BASE/v1/runs/$KEY/slice?read=90" > "$WORK/http-slice.json"
+# A sliced run saves under a query-suffixed name (so it can never
+# overwrite the full baseline) — glob the single file the CLI wrote.
+"$WORK/lockbench" -load "$CACHE/$KEY.json" -slice read=90 -json "$WORK/cli-slice" > /dev/null
+cmp "$WORK/http-slice.json" "$WORK"/cli-slice/*.json
+
+echo "== project endpoint"
+curl -fsS "$BASE/v1/runs/$KEY/project?axes=lock" > "$WORK/project.json"
+grep -q '"query"' "$WORK/project.json"
+
+echo "== self-diff is clean"
+curl -fsS "$BASE/v1/diff?a=$KEY&b=$KEY" > "$WORK/diff.json"
+grep -q '"equal": true' "$WORK/diff.json"
+
+echo "== malformed requests answer 400"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/runs?experiment=scenario:hamsterdb&scale=abc")
+[ "$CODE" = 400 ] || { echo "bad scale answered $CODE, want 400" >&2; exit 1; }
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/runs?experiment=scenario:hamsterdb&bogus=1")
+[ "$CODE" = 400 ] || { echo "unknown parameter answered $CODE, want 400" >&2; exit 1; }
+
+echo "serve smoke: OK"
