@@ -4,7 +4,7 @@
 GO      ?= go
 WORKERS ?= 0# sweep workers: 0 = all CPUs, 1 = serial
 
-.PHONY: build test race bench lint sweep smoke results scenarios serve-smoke ci
+.PHONY: build test race bench bench-all bench-compare lint sweep smoke results scenarios serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -15,8 +15,30 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Hot-path microbenchmarks only (kernel, coherence, futex) — the tight
+# loop while optimizing the simulator.
 bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=0.5s ./internal/sim ./internal/coherence ./internal/futex
+
+# Every benchmark in the repo, including the slow experiment sweeps
+# (single-shot: a compile-and-run smoke, not a measurement).
+bench-all:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Measured benchmark run mirroring the CI bench job: 3 repeats of the
+# hot-path micros plus the end-to-end cells/sec grid, parsed and gated
+# on allocs/op against the stored BENCH_7.json trajectory; benchstat
+# (if installed) reports ns/op deltas against the stored numbers.
+bench-compare:
+	$(GO) test -run='^$$' -bench=. -benchtime=0.5s -count=3 ./internal/sim ./internal/coherence ./internal/futex | tee /tmp/lockin-bench.txt
+	$(GO) test -run='^$$' -bench=BenchmarkCellsPerSec -benchtime=10s ./internal/workload | tee -a /tmp/lockin-bench.txt
+	$(GO) run ./scripts/benchgate -in /tmp/lockin-bench.txt -json /tmp/lockin-bench-results.json -gate BENCH_7.json
+	@if command -v benchstat >/dev/null 2>&1; then \
+		$(GO) run ./scripts/benchgate -extract BENCH_7.json > /tmp/lockin-bench-stored.txt; \
+		benchstat /tmp/lockin-bench-stored.txt /tmp/lockin-bench.txt; \
+	else \
+		echo "benchstat not installed; skipping ns/op comparison (go install golang.org/x/perf/cmd/benchstat@latest)"; \
+	fi
 
 lint:
 	@unformatted=$$(gofmt -l .); \
@@ -99,4 +121,4 @@ scenarios:
 serve-smoke:
 	sh scripts/serve-smoke.sh
 
-ci: lint build test race smoke results scenarios serve-smoke bench
+ci: lint build test race smoke results scenarios serve-smoke bench-all bench-compare

@@ -39,6 +39,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mutexeetune: %v\n", err)
 		os.Exit(2)
 	}
+	stopProf, err := o.StartProfiles()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mutexeetune: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	sleepLat := measureSleepLatency(o.Seed)
 	turnaround := measureTurnaround(o.Seed, sim.Cycles(50_000*o.Scale))

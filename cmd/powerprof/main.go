@@ -48,6 +48,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "powerprof: %v\n", err)
 		os.Exit(2)
 	}
+	stopProf, err := o.StartProfiles()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "powerprof: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 	if *step < 1 {
 		fmt.Fprintln(os.Stderr, "powerprof: -step must be ≥ 1")
 		os.Exit(2)

@@ -10,10 +10,13 @@
 //
 // Flag names and URL query parameters correspond one-to-one: -seed ↔
 // seed, -scale ↔ scale, -quick ↔ quick, -workers ↔ workers, -slice ↔
-// slice, -project ↔ project, -tol ↔ tol, -tol-cols ↔ tol_cols. The
-// -shard flag is deliberately CLI-only: a shard is a process-level
-// concern of distributed regeneration, and the service always runs
-// full grids.
+// slice, -project ↔ project, -tol ↔ tol, -tol-cols ↔ tol_cols,
+// -cpuprofile ↔ cpuprofile, -memprofile ↔ memprofile. The -shard flag
+// is deliberately CLI-only: a shard is a process-level concern of
+// distributed regeneration, and the service always runs full grids.
+// The service handlers likewise keep cpuprofile/memprofile out of
+// their allowed query subsets: profiles are files of the serving
+// process, not run options.
 package opts
 
 import (
@@ -56,6 +59,14 @@ type Options struct {
 	// comparisons (0 = exact); TolCols overrides it per column header.
 	Tol     float64
 	TolCols map[string]float64
+	// CPUProfile/MemProfile name files to write pprof profiles to: CPU
+	// profiling covers the whole run, the heap profile is captured at
+	// exit (see StartProfiles). Empty disables. Part of the shared
+	// schema; the service's handlers deliberately exclude them from
+	// their allowed query subsets — a profile is a local file of the
+	// serving process, not a property of the run.
+	CPUProfile string
+	MemProfile string
 }
 
 // Defaults returns the option values every consumer starts from: the
@@ -83,6 +94,8 @@ func FromRunFlags(fs *flag.FlagSet) *Flags {
 	fs.Float64Var(&f.opts.Scale, "scale", f.opts.Scale, "measurement-window multiplier")
 	fs.BoolVar(&f.opts.Quick, "quick", false, "trim sweep grids (CI mode)")
 	fs.IntVar(&f.opts.Workers, "workers", 0, "parallel sweep workers (0 = all CPUs, 1 = serial)")
+	fs.StringVar(&f.opts.CPUProfile, "cpuprofile", "", "write a CPU pprof profile of the run to this file")
+	fs.StringVar(&f.opts.MemProfile, "memprofile", "", "write a heap pprof profile at exit to this file")
 	return f
 }
 
@@ -196,6 +209,14 @@ var queryParsers = map[string]func(*Options, string) error{
 			return err
 		}
 		o.TolCols = cols
+		return nil
+	},
+	"cpuprofile": func(o *Options, v string) error {
+		o.CPUProfile = v
+		return nil
+	},
+	"memprofile": func(o *Options, v string) error {
+		o.MemProfile = v
 		return nil
 	},
 }

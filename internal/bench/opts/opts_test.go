@@ -306,7 +306,7 @@ func TestNormalizeAndValidate(t *testing.T) {
 // the README documents: every shared execution/query knob is reachable
 // from a URL.
 func TestQueryKeysSchema(t *testing.T) {
-	want := []string{"project", "quick", "scale", "seed", "slice", "tol", "tol_cols", "workers"}
+	want := []string{"cpuprofile", "memprofile", "project", "quick", "scale", "seed", "slice", "tol", "tol_cols", "workers"}
 	if got := opts.QueryKeys(); !reflect.DeepEqual(got, want) {
 		t.Errorf("QueryKeys() = %v, want %v", got, want)
 	}

@@ -1,0 +1,50 @@
+package opts
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles begins the profiling requested by CPUProfile/MemProfile
+// and returns a stop function the caller must run at exit (defer it in
+// main, before os.Exit paths): it ends the CPU profile and captures the
+// heap profile. With both fields empty it does nothing and the returned
+// stop is a no-op, so callers can wire it unconditionally:
+//
+//	stop, err := o.StartProfiles()
+//	if err != nil { ... }
+//	defer stop()
+func (o Options) StartProfiles() (stop func(), err error) {
+	var cpu *os.File
+	if o.CPUProfile != "" {
+		cpu, err = os.Create(o.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	mem := o.MemProfile
+	return func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}
+	}, nil
+}

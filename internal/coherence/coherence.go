@@ -80,6 +80,11 @@ type Model struct {
 	cfg   Config
 	topo  Topology
 	stats Stats
+
+	// scratch is the reusable snapshot buffer of fireWatchers. Safe to
+	// share across lines: watcher wake-ups are delivered through events,
+	// so fireWatchers never nests.
+	scratch []*Watcher
 }
 
 // NewModel creates a coherence model bound to a simulation kernel.
@@ -121,6 +126,12 @@ type Watcher struct {
 
 	line *Line
 	idx  int // index in line.watchers, -1 when detached
+
+	// gen counts registrations of this watcher object. A scheduled wake
+	// carries the generation it was issued for, so a pending delivery
+	// cannot reach a watcher that was since recycled and re-registered
+	// (spin epochs reuse one watcher per thread).
+	gen uint64
 }
 
 // Line is one cache line holding a 64-bit lock word.
@@ -256,6 +267,7 @@ func (l *Line) Watch(w *Watcher) {
 	}
 	w.line = l
 	w.idx = len(l.watchers)
+	w.gen++
 	l.watchers = append(l.watchers, w)
 	if w.Kind == WatchGlobal {
 		l.pollers++
@@ -302,7 +314,17 @@ func (l *Line) scheduleWake(w *Watcher, position int) {
 	// The woken spinner re-fetches the line: account the shared copy.
 	l.sharers |= uint64(1) << uint(w.Ctx)
 	l.m.stats.Transfers++
-	l.m.k.Schedule(delay, func() { w.Fire(val) })
+	l.m.k.ScheduleCall(delay, fireWatcher, w, val, w.gen)
+}
+
+// fireWatcher delivers a scheduled watcher wake-up. The generation stamp
+// drops deliveries that outlived their registration.
+func fireWatcher(obj any, val, gen uint64) {
+	w := obj.(*Watcher)
+	if w.gen != gen {
+		return
+	}
+	w.Fire(val)
 }
 
 // fireWatchers scans watchers after a value change and wakes those whose
@@ -313,8 +335,8 @@ func (l *Line) fireWatchers(baseCost sim.Cycles) {
 	if len(l.watchers) == 0 {
 		return
 	}
-	snapshot := make([]*Watcher, len(l.watchers))
-	copy(snapshot, l.watchers)
+	snapshot := append(l.m.scratch[:0], l.watchers...)
+	l.m.scratch = snapshot[:0]
 	// Deterministic but unbiased service order among the burst.
 	l.m.k.Rand().Shuffle(len(snapshot), func(i, j int) {
 		snapshot[i], snapshot[j] = snapshot[j], snapshot[i]

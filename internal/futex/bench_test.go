@@ -1,0 +1,55 @@
+package futex
+
+import (
+	"testing"
+
+	"lockin/internal/sched"
+)
+
+// BenchmarkFutexWaitWake measures the full FUTEX_WAIT / FUTEX_WAKE
+// round trip through the scheduler: a sleeper blocks on the word, a
+// waker flips it and wakes, repeatedly. This exercises the waiter
+// queue, timer-free descheduling and the Unblock dispatch path — the
+// backbone of every MUTEX/MUTEXEE handover in the simulator.
+func BenchmarkFutexWaitWake(b *testing.B) {
+	h := newHarness(1)
+	var word uint64 = 1
+	w := h.tb.NewWord(func() uint64 { return word })
+	n := b.N
+	h.s.Spawn("sleeper", func(th *sched.Thread) {
+		for i := 0; i < n; i++ {
+			word = 1
+			h.tb.Wait(th, w, 1, 0)
+		}
+	})
+	h.s.Spawn("waker", func(th *sched.Thread) {
+		for i := 0; i < n; i++ {
+			for w.Waiters() == 0 {
+				th.Run(500)
+			}
+			word = 0
+			h.tb.Wake(th, w, 1)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	h.k.Drain()
+}
+
+// BenchmarkFutexWaitTimeout measures the timed-wait path where the
+// timeout always fires: timer arm, expiry, waiter removal. This is the
+// MUTEXEE spin-then-sleep fallback under light contention.
+func BenchmarkFutexWaitTimeout(b *testing.B) {
+	h := newHarness(1)
+	var word uint64 = 1
+	w := h.tb.NewWord(func() uint64 { return word })
+	n := b.N
+	h.s.Spawn("sleeper", func(th *sched.Thread) {
+		for i := 0; i < n; i++ {
+			h.tb.Wait(th, w, 1, 50_000)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	h.k.Drain()
+}

@@ -100,7 +100,7 @@ type waiter struct {
 	t        *sched.Thread
 	w        *Word
 	timedOut bool
-	timer    *sim.Event
+	timer    sim.Event
 	index    int
 }
 
@@ -116,6 +116,29 @@ type Table struct {
 	bkts  []bucket
 	next  int
 	stats Stats
+
+	// pool recycles waiter nodes so the Wait/Wake hot path does not
+	// allocate. A waiter is returned to the pool only after its timer is
+	// dead (fired or cancelled), so a pooled node can never receive a
+	// stale timeout.
+	pool []*waiter
+}
+
+func (tb *Table) getWaiter() *waiter {
+	if n := len(tb.pool); n > 0 {
+		wt := tb.pool[n-1]
+		tb.pool[n-1] = nil
+		tb.pool = tb.pool[:n-1]
+		return wt
+	}
+	return &waiter{}
+}
+
+func (tb *Table) putWaiter(wt *waiter) {
+	wt.t = nil
+	wt.w = nil
+	wt.timer = sim.Event{}
+	tb.pool = append(tb.pool, wt)
 }
 
 // NewTable creates a futex table bound to a scheduler.
@@ -176,35 +199,43 @@ func (tb *Table) Wait(t *sched.Thread, w *Word, val uint64, timeout sim.Cycles) 
 		t.Run(tb.cfg.SyscallEntry) // kernel→user return
 		return ValMismatch
 	}
-	wt := &waiter{t: t, w: w, index: len(w.waiters)}
+	wt := tb.getWaiter()
+	wt.t, wt.w = t, w
+	wt.timedOut = false
+	wt.index = len(w.waiters)
 	w.waiters = append(w.waiters, wt)
 	if timeout > 0 {
-		var fire func()
-		fire = func() {
-			if wt.index < 0 {
-				return // a wake won the race
-			}
-			if t.State() != sched.Blocked {
-				// The waiter is still on its way into Block (descheduling
-				// path); retry shortly rather than waking a running thread.
-				wt.timer = tb.k.Schedule(100, fire)
-				return
-			}
-			wt.timedOut = true
-			w.remove(wt)
-			tb.stats.Timeouts++
-			tb.s.Unblock(t, 0)
-		}
-		wt.timer = tb.k.Schedule(timeout, fire)
+		wt.timer = tb.k.ScheduleCall(timeout, waiterTimeout, wt, 0, 0)
 	}
 	t.Run(tb.cfg.Deschedule)
 	t.Block()
 	// Back on CPU: charge the kernel→user return path.
 	t.Run(tb.cfg.SyscallEntry)
-	if wt.timedOut {
+	timedOut := wt.timedOut
+	tb.putWaiter(wt)
+	if timedOut {
 		return TimedOut
 	}
 	return Woken
+}
+
+// waiterTimeout is the ScheduleCall callback of a Wait timeout timer.
+func waiterTimeout(obj any, _, _ uint64) {
+	wt := obj.(*waiter)
+	if wt.index < 0 {
+		return // a wake won the race
+	}
+	tb := wt.w.table
+	if wt.t.State() != sched.Blocked {
+		// The waiter is still on its way into Block (descheduling
+		// path); retry shortly rather than waking a running thread.
+		wt.timer = tb.k.ScheduleCall(100, waiterTimeout, wt, 0, 0)
+		return
+	}
+	wt.timedOut = true
+	wt.w.remove(wt)
+	tb.stats.Timeouts++
+	tb.s.Unblock(wt.t, 0)
 }
 
 // remove unlinks a waiter from the queue (swap-free, order-preserving).
@@ -232,10 +263,8 @@ func (tb *Table) Wake(t *sched.Thread, w *Word, n int) int {
 	for woken < n && len(w.waiters) > 0 {
 		wt := w.waiters[0]
 		w.remove(wt)
-		if wt.timer != nil {
-			tb.k.Cancel(wt.timer)
-			wt.timer = nil
-		}
+		tb.k.Cancel(wt.timer)
+		wt.timer = sim.Event{}
 		tb.s.Unblock(wt.t, tb.cfg.WakeFixup)
 		woken++
 		tb.stats.WokenThreads++
@@ -252,10 +281,8 @@ func (tb *Table) KernelWakeAll(w *Word) int {
 	for len(w.waiters) > 0 {
 		wt := w.waiters[0]
 		w.remove(wt)
-		if wt.timer != nil {
-			tb.k.Cancel(wt.timer)
-			wt.timer = nil
-		}
+		tb.k.Cancel(wt.timer)
+		wt.timer = sim.Event{}
 		tb.s.Unblock(wt.t, 0)
 		n++
 	}

@@ -109,6 +109,10 @@ func (m *Machine) NewFutexWord(l *coherence.Line) *futex.Word {
 type Thread struct {
 	*sched.Thread
 	m *Machine
+
+	// spin is the pooled busy-wait epoch state (see spin.go), created
+	// lazily on the first SpinUntil and reused for every epoch after.
+	spin *spinState
 }
 
 // Spawn creates and enqueues a thread running body.

@@ -95,6 +95,50 @@ const (
 	wakeLimit = 3
 )
 
+// spinState is a thread's pooled busy-wait epoch state: one coherence
+// watcher, the wake bookkeeping and a stable Fire closure, reused across
+// epochs so spinning allocates nothing in steady state. Deliveries that
+// outlive their epoch are cut off by the watcher's registration
+// generation (see coherence); within an epoch, settled arbitrates the
+// race between the predicate wake and the slice/budget timer.
+type spinState struct {
+	t       *Thread
+	line    *coherence.Line
+	settled bool
+	val     uint64
+	w       coherence.Watcher
+}
+
+// spinEpoch returns the thread's reusable spin state, creating it (and
+// its one Fire closure) on first use.
+func (t *Thread) spinEpoch() *spinState {
+	if t.spin == nil {
+		st := &spinState{t: t}
+		st.w.Fire = func(v uint64) {
+			if st.settled {
+				return
+			}
+			st.settled = true
+			st.val = v
+			st.t.Proc().Wake(wakePred)
+		}
+		t.spin = st
+	}
+	return t.spin
+}
+
+// spinTimerCall ends a spin epoch for a non-predicate reason (timeslice
+// expiry or spin budget exhausted), carried in the reason argument.
+func spinTimerCall(obj any, reason, _ uint64) {
+	st := obj.(*spinState)
+	if st.settled {
+		return
+	}
+	st.settled = true
+	st.line.Unwatch(&st.w)
+	st.t.Proc().Wake(reason)
+}
+
 // SpinUntil busy-waits on l until pred holds, using the given policy.
 // It returns the observed value. The wait is preemptible: under
 // oversubscription the spinner burns its timeslice and round-trips
@@ -137,32 +181,20 @@ func (t *Thread) SpinUntilLimit(l *coherence.Line, pred func(uint64) bool, pol W
 			t.Compute(mwaitUserWake)
 		}
 	}()
+	st := t.spinEpoch()
 	for {
 		if limit > 0 && spent >= limit {
 			return l.Val(), false
 		}
 		t.SetActivity(act)
-		type wakeState struct {
-			settled bool
-			val     uint64
-		}
-		st := &wakeState{}
-		w := &coherence.Watcher{
-			Ctx:  t.Ctx(),
-			Kind: pol.watchKind(),
-			Pred: pred,
-			Fire: func(v uint64) {
-				if st.settled {
-					return
-				}
-				st.settled = true
-				st.val = v
-				t.Proc().Wake(wakePred)
-			},
-		}
+		st.line = l
+		st.settled = false
+		st.w.Ctx = t.Ctx()
+		st.w.Kind = pol.watchKind()
+		st.w.Pred = pred
 		start := t.Proc().Now()
 		// Arm the shorter of the slice-expiry and budget timers.
-		var timer *sim.Event
+		var timer sim.Event
 		reason := uint64(0)
 		armed := sim.Cycles(0)
 		if t.m.Sched.Oversubscribed() {
@@ -177,17 +209,9 @@ func (t *Thread) SpinUntilLimit(l *coherence.Line, pred func(uint64) bool, pol W
 			}
 		}
 		if armed > 0 {
-			r := reason
-			timer = t.m.K.Schedule(armed, func() {
-				if st.settled {
-					return
-				}
-				st.settled = true
-				l.Unwatch(w)
-				t.Proc().Wake(r)
-			})
+			timer = t.m.K.ScheduleCall(armed, spinTimerCall, st, reason, 0)
 		}
-		l.Watch(w)
+		l.Watch(&st.w)
 		pollersAtWatch := l.Pollers()
 		got := t.Proc().Park()
 		waited := t.Proc().Now() - start
@@ -200,9 +224,7 @@ func (t *Thread) SpinUntilLimit(l *coherence.Line, pred func(uint64) bool, pol W
 			peak = p
 		}
 		t.m.noteSpin(act, waited, peak)
-		if timer != nil {
-			t.m.K.Cancel(timer)
-		}
+		t.m.K.Cancel(timer)
 		switch got {
 		case wakePred:
 			return st.val, true

@@ -216,11 +216,35 @@ type Meter struct {
 	accPkg, accCores, accDRAM float64
 	// Current instantaneous powers, recomputed on state changes.
 	curPkg, curCores, curDRAM float64
+	// dirty marks cur* stale after a state change. The rebuild is deferred
+	// until the powers are actually consumed — the next time-advancing
+	// integrate or an instantaneous reading — so a burst of transitions at
+	// one virtual instant (context switch: VF + activity; wake-up chains)
+	// costs a single recompute instead of one per transition.
+	dirty bool
+
+	// socketActive is recompute's scratch buffer (one flag per socket),
+	// kept on the meter so the per-transition hot path does not allocate.
+	socketActive []bool
+
+	// busy counts, per core, the contexts not in IdleDeep. When the
+	// configuration draws exactly zero Watts for IdleDeep (skipDeep), a
+	// core with busy == 0 contributes exactly 0.0 to every sum, and
+	// adding 0.0 to a non-negative float is bit-exact — recompute skips
+	// such cores without changing any accumulated value.
+	busy     []int16
+	skipDeep bool
 }
 
 // NewMeter creates a meter with every context idle-deep at VF-max.
 func NewMeter(k *sim.Kernel, cfg Config, t topo.Topology) *Meter {
-	m := &Meter{k: k, cfg: cfg, topo: t, ctxs: make([]ctxState, t.NumContexts())}
+	m := &Meter{
+		k: k, cfg: cfg, topo: t,
+		ctxs:         make([]ctxState, t.NumContexts()),
+		socketActive: make([]bool, t.Sockets),
+		busy:         make([]int16, t.NumCores()),
+		skipDeep:     cfg.ActivityW[IdleDeep] == 0 && cfg.DRAMActivityW[IdleDeep] == 0,
+	}
 	m.recompute()
 	return m
 }
@@ -238,12 +262,20 @@ func (m *Meter) VFOf(ctx int) VF { return m.ctxs[ctx].vf }
 // SetActivity transitions a context to a new activity, integrating energy
 // up to the current instant first.
 func (m *Meter) SetActivity(ctx int, a Activity) {
-	if m.ctxs[ctx].act == a {
+	old := m.ctxs[ctx].act
+	if old == a {
 		return
 	}
 	m.integrate()
 	m.ctxs[ctx].act = a
-	m.recompute()
+	if (old == IdleDeep) != (a == IdleDeep) {
+		if core := m.topo.CoreOf(ctx); a == IdleDeep {
+			m.busy[core]--
+		} else {
+			m.busy[core]++
+		}
+	}
+	m.dirty = true
 }
 
 // SetVF sets a context's requested DVFS point.
@@ -253,7 +285,7 @@ func (m *Meter) SetVF(ctx int, v VF) {
 	}
 	m.integrate()
 	m.ctxs[ctx].vf = v
-	m.recompute()
+	m.dirty = true
 }
 
 // coreVF returns the effective VF of a physical core: the highest setting
@@ -281,6 +313,14 @@ func (m *Meter) integrate() {
 		m.lastAt = now
 		return
 	}
+	// Every state change integrates before mutating, so between lastAt and
+	// now the per-context state is exactly what it was at lastAt: a deferred
+	// rebuild here yields the same rates (and the same summation order) as
+	// an eager one at the instant of the change.
+	if m.dirty {
+		m.recompute()
+		m.dirty = false
+	}
 	dt := float64(now - m.lastAt)
 	m.accPkg += m.curPkg * dt
 	m.accCores += m.curCores * dt
@@ -291,32 +331,46 @@ func (m *Meter) integrate() {
 // recompute rebuilds the instantaneous power sums from per-context state.
 func (m *Meter) recompute() {
 	nc := m.topo.NumCores()
+	tpc := m.topo.ThreadsPerCore
 	cores := 0.0
 	dram := m.cfg.DRAMBackgroundW
-	socketActive := make([]bool, m.topo.Sockets)
-	for core := 0; core < nc; core++ {
-		scale := 1.0
-		if m.coreVF(core) == VFMin {
-			scale = m.cfg.VFMinScale
-		}
-		// The busiest hyper-thread pays full activity power, siblings a
-		// fraction: the core's execution resources are shared.
-		bestW, extraW := 0.0, 0.0
-		for ht := 0; ht < m.topo.ThreadsPerCore; ht++ {
-			st := m.ctxs[core+ht*nc]
-			w := m.cfg.ActivityW[st.act]
-			if w > bestW {
-				extraW += bestW
-				bestW = w
-			} else {
-				extraW += w
+	socketActive := m.socketActive
+	for i := range socketActive {
+		socketActive[i] = false
+	}
+	// Walk cores in index order (socket-major, matching the numbering) so
+	// the floating-point summation order never changes.
+	core := 0
+	for s := 0; s < m.topo.Sockets; s++ {
+		for end := core + m.topo.CoresPerSocket; core < end; core++ {
+			if m.skipDeep && m.busy[core] == 0 {
+				// Entirely idle-deep core: every term below is exactly
+				// 0.0, so skipping it leaves the sums bit-identical.
+				continue
 			}
-			dram += m.cfg.DRAMActivityW[st.act] * scale
-			if !st.act.IsIdle() {
-				socketActive[m.topo.SocketOf(core)] = true
+			scale := 1.0
+			if m.coreVF(core) == VFMin {
+				scale = m.cfg.VFMinScale
 			}
+			// The busiest hyper-thread pays full activity power, siblings a
+			// fraction: the core's execution resources are shared.
+			bestW, extraW := 0.0, 0.0
+			for ht := 0; ht < tpc; ht++ {
+				st := m.ctxs[core+ht*nc]
+				w := m.cfg.ActivityW[st.act]
+				if w > bestW {
+					extraW += bestW
+					bestW = w
+				} else {
+					extraW += w
+				}
+				dram += m.cfg.DRAMActivityW[st.act] * scale
+				if !st.act.IsIdle() {
+					socketActive[s] = true
+				}
+			}
+			cores += (bestW + extraW*m.cfg.HTFraction) * scale
 		}
-		cores += (bestW + extraW*m.cfg.HTFraction) * scale
 	}
 	pkg := cores
 	for s := 0; s < m.topo.Sockets; s++ {
@@ -353,6 +407,10 @@ func (m *Meter) Energy() Energy {
 
 // InstantPower returns the current power breakdown in Watts.
 func (m *Meter) InstantPower() Breakdown {
+	if m.dirty {
+		m.recompute()
+		m.dirty = false
+	}
 	return Breakdown{
 		Total:   m.curPkg + m.curDRAM,
 		Package: m.curPkg,

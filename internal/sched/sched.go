@@ -137,7 +137,7 @@ type ctxState struct {
 	// dispatch event, so concurrent wake-ups don't double-book it.
 	reserved bool
 	deep     bool
-	deepEvt  *sim.Event
+	deepEvt  sim.Event
 	idleAt   sim.Cycles
 }
 
@@ -193,8 +193,32 @@ func (s *Scheduler) Spawn(name string, body func(*Thread)) *Thread {
 	})
 	// The proc is started lazily by its first dispatch; until then the
 	// thread sits in the ready queue like any other wake-up.
-	s.k.Schedule(0, func() { s.enqueue(t, 0) })
+	s.k.ScheduleCall(0, enqueueCall, t, 0, 0)
 	return t
+}
+
+// enqueueCall, dispatchCall and deepIdleCall are the ScheduleCall
+// callbacks of the scheduler's hot paths, so a wake-up/dispatch cycle
+// allocates no closures.
+func enqueueCall(obj any, _, _ uint64) {
+	t := obj.(*Thread)
+	t.s.enqueue(t, 0)
+}
+
+func dispatchCall(obj any, ctx, _ uint64) {
+	t := obj.(*Thread)
+	t.s.dispatch(t, int(ctx))
+}
+
+func deepIdleCall(obj any, a, _ uint64) {
+	s := obj.(*Scheduler)
+	ctx := int(a)
+	c := &s.ctxs[ctx]
+	c.deepEvt = sim.Event{}
+	if c.running == nil && !c.reserved {
+		c.deep = true
+		s.meter.SetActivity(ctx, power.IdleDeep)
+	}
 }
 
 // enqueue makes t runnable: either reserve an idle context and schedule
@@ -214,7 +238,7 @@ func (s *Scheduler) enqueue(t *Thread, extraDelay sim.Cycles) {
 	s.reserve(ctx)
 	delay := extraDelay + s.exitLatency(ctx) + s.cfg.SchedDelay + s.cfg.CtxSwitch
 	t.state = Dispatching
-	s.k.Schedule(delay, func() { s.dispatch(t, ctx) })
+	s.k.ScheduleCall(delay, dispatchCall, t, uint64(ctx), 0)
 }
 
 // pickIdleCtx prefers the thread's pinned context (ctx == thread id) when
@@ -238,10 +262,8 @@ func (s *Scheduler) pickIdleCtx(t *Thread) int {
 func (s *Scheduler) reserve(ctx int) {
 	c := &s.ctxs[ctx]
 	c.reserved = true
-	if c.deepEvt != nil {
-		s.k.Cancel(c.deepEvt)
-		c.deepEvt = nil
-	}
+	s.k.Cancel(c.deepEvt)
+	c.deepEvt = sim.Event{}
 }
 
 // exitLatency is the idle-state exit cost of a context at this instant.
@@ -288,7 +310,7 @@ func (s *Scheduler) release(ctx int) {
 		s.runq = s.runq[:copy(s.runq, s.runq[1:])]
 		s.reserve(ctx)
 		next.state = Dispatching
-		s.k.Schedule(s.cfg.CtxSwitch, func() { s.dispatch(next, ctx) })
+		s.k.ScheduleCall(s.cfg.CtxSwitch, dispatchCall, next, uint64(ctx), 0)
 		return
 	}
 	// Idle the context: shallow now, deep after the threshold.
@@ -296,14 +318,7 @@ func (s *Scheduler) release(ctx int) {
 	c.deep = false
 	s.meter.SetActivity(ctx, power.IdleShallow)
 	s.meter.SetVF(ctx, s.cfg.IdleVF)
-	evt := s.k.Schedule(s.cfg.IdleDeepAfter, func() {
-		c.deepEvt = nil
-		if c.running == nil && !c.reserved {
-			c.deep = true
-			s.meter.SetActivity(ctx, power.IdleDeep)
-		}
-	})
-	c.deepEvt = evt
+	c.deepEvt = s.k.ScheduleCall(s.cfg.IdleDeepAfter, deepIdleCall, s, uint64(ctx), 0)
 }
 
 // SetActivity changes the power class charged for this thread; applied

@@ -32,15 +32,29 @@ func (s ProcState) String() string {
 
 // Proc is a simulated thread: a goroutine whose execution is interleaved
 // with virtual time by the kernel. Exactly one Proc (or the kernel loop)
-// runs at a time; the handshake channels enforce the transfer of control.
+// runs at a time — a single control token moves between goroutines over
+// the per-proc resume channels and the kernel's token channel.
+//
+// A proc yields the token in one of two modes. After a synchronous nested
+// Wake/Start (back != nil) the token returns to the waker, which resumes
+// mid-callback. Otherwise the proc is the driver: on park it keeps popping
+// and executing events inline (Kernel.drive), so a sleep whose wake-up is
+// the next event costs zero goroutine switches, and a handover to another
+// proc costs one channel crossing instead of four.
 type Proc struct {
 	k      *Kernel
 	id     int
 	name   string
 	state  ProcState
-	resume chan struct{} // kernel -> proc
-	yield  chan struct{} // proc -> kernel
+	resume chan struct{} // control token handed to this proc
+	back   chan struct{} // non-nil: waker to resume on yield; nil: driver
 	body   func(*Proc)
+
+	// wokenInline records a Wake delivered while this proc was itself
+	// driving the event loop: the waking callback runs beneath the
+	// proc's own park frame, so the wake is marked here and the body
+	// resumes when the callback returns (see Kernel.drive).
+	wokenInline bool
 
 	// WakeVal carries an optional token from the waker to the parked
 	// proc (e.g. futex wake reason). Zero when woken by a timer.
@@ -56,7 +70,6 @@ func (k *Kernel) NewProc(id int, name string, body func(*Proc)) *Proc {
 		name:   name,
 		state:  ProcNew,
 		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
 		body:   body,
 	}
 	k.procs = append(k.procs, p)
@@ -84,33 +97,61 @@ func (p *Proc) Start() {
 	if p.state != ProcNew {
 		panic("sim: Start on a non-new Proc")
 	}
-	go func() {
-		<-p.resume
-		p.body(p)
-		p.state = ProcDone
-		p.yield <- struct{}{}
+	go p.run()
+	p.k.transfer(p)
+}
+
+// run is the proc goroutine: wait for the first token, execute the body,
+// then release the token. A panic anywhere on this goroutine (the body or
+// an event callback executed while driving) is trapped and forwarded so
+// it re-raises out of Kernel.Run on the kernel goroutine.
+func (p *Proc) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			p.state = ProcDone
+			if p.k.trap == nil {
+				p.k.trap = r
+			}
+			if ch := p.back; ch != nil {
+				p.back = nil
+				ch <- struct{}{}
+				return
+			}
+			p.k.active = nil
+			p.k.token <- struct{}{}
+		}
 	}()
-	p.transfer()
+	<-p.resume
+	p.body(p)
+	p.state = ProcDone
+	p.finish()
 }
 
-// transfer hands control to the proc goroutine and waits for it to yield
-// back. Called from kernel context.
-func (p *Proc) transfer() {
-	prev := p.k.active
-	p.k.active = p
-	p.state = ProcRunning
-	p.resume <- struct{}{}
-	<-p.yield
-	p.k.active = prev
+// finish releases the control token after the body returned: back to a
+// nested waker, or — when this proc was the driver — by driving the event
+// loop until the token moves on.
+func (p *Proc) finish() {
+	if ch := p.back; ch != nil {
+		p.back = nil
+		ch <- struct{}{}
+		return
+	}
+	p.k.drive(nil)
 }
 
-// park blocks the calling proc goroutine, returning control to the kernel.
-// Called from proc context only.
+// park blocks the calling proc goroutine until it is woken. A nested-woken
+// proc returns the token to its waker; a driver keeps executing events
+// inline and, if the next wake-up is its own, continues without blocking.
 func (p *Proc) park() {
 	p.state = ProcParked
-	p.yield <- struct{}{}
+	if ch := p.back; ch != nil {
+		p.back = nil
+		ch <- struct{}{}
+	} else if p.k.drive(p) {
+		p.state = ProcRunning
+		return
+	}
 	<-p.resume
-	p.state = ProcRunning
 }
 
 // Park blocks the proc until some other actor calls Wake. The returned
@@ -121,21 +162,42 @@ func (p *Proc) Park() uint64 {
 	return p.WakeVal
 }
 
-// Wake unparks p with the given token. Must be called from kernel context
-// or from another running proc; control transfers to p immediately and
-// returns here once p parks or finishes again.
+// Wake unparks p with the given token. Called from a running proc, control
+// transfers to p immediately and returns here once p parks or finishes
+// again. Called from an event callback, the wake must be the callback's
+// last observable action (no scheduling, RNG draws or further wakes after
+// it — consecutive wakes are fine) and delivery is optimized: p resumes
+// when the callback returns, by tail handoff, or inline when the callback
+// is already executing on p's own driving goroutine.
 func (p *Proc) Wake(val uint64) {
 	if p.state != ProcParked {
 		panic(fmt.Sprintf("sim: Wake on proc %q in state %v", p.name, p.state))
 	}
 	p.WakeVal = val
-	p.transfer()
+	k := p.k
+	if k.driver == p {
+		p.wokenInline = true
+		return
+	}
+	if k.inCallback {
+		if q := k.deferred; q != nil {
+			// Second wake from one callback: run the first-woken proc to
+			// its next park now, preserving wake order, and defer this one.
+			k.deferred = nil
+			k.transfer(q)
+		}
+		k.deferred = p
+		return
+	}
+	k.transfer(p)
 }
 
 // WakeAt schedules p to be woken at now+d with the given token and returns
-// the timer event (cancellable).
-func (p *Proc) WakeAt(d Cycles, val uint64) *Event {
-	return p.k.Schedule(d, func() { p.Wake(val) })
+// the timer event (cancellable). The wake-up is a typed event — no closure
+// is allocated, and the kernel delivers it with at most one goroutine
+// switch (zero when p itself is driving the event loop).
+func (p *Proc) WakeAt(d Cycles, val uint64) Event {
+	return p.k.scheduleWake(d, p, val)
 }
 
 // Sleep advances virtual time by d for this proc: it schedules its own
@@ -144,16 +206,19 @@ func (p *Proc) Sleep(d Cycles) {
 	if d == 0 {
 		return
 	}
-	p.WakeAt(d, 0)
+	p.k.scheduleWake(d, p, 0)
 	p.park()
 }
 
 // Done reports whether the proc body has returned.
 func (p *Proc) Done() bool { return p.state == ProcDone }
 
+// startProc is the ScheduleCall callback used by Go.
+func startProc(obj any, _, _ uint64) { obj.(*Proc).Start() }
+
 // Go is a convenience: create a proc and schedule its start at now+delay.
 func (k *Kernel) Go(id int, name string, delay Cycles, body func(*Proc)) *Proc {
 	p := k.NewProc(id, name, body)
-	k.Schedule(delay, func() { p.Start() })
+	k.ScheduleCall(delay, startProc, p, 0, 0)
 	return p
 }

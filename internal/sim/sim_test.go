@@ -41,7 +41,7 @@ func TestKernelCancel(t *testing.T) {
 	e := k.Schedule(10, func() { fired = true })
 	k.Cancel(e)
 	k.Cancel(e) // idempotent
-	k.Cancel(nil)
+	k.Cancel(Event{})
 	k.Drain()
 	if fired {
 		t.Fatal("cancelled event fired")

@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"testing"
+
+	"lockin/internal/core"
+	"lockin/internal/sim"
+	"lockin/internal/sweep"
+)
+
+// cellsGrid is the fixed quick grid BenchmarkCellsPerSec measures:
+// four lock algorithms × three thread counts, each cell a full
+// simulated machine with a short measurement window. The grid is
+// frozen so cells/sec numbers stay comparable across optimizations
+// (BENCH_*.json trajectory).
+func cellsGrid() []MicroConfig {
+	kinds := []core.Kind{core.KindMutex, core.KindTAS, core.KindTTAS, core.KindMutexee}
+	threads := []int{1, 8, 20}
+	var cfgs []MicroConfig
+	for _, k := range kinds {
+		for _, th := range threads {
+			cfg := DefaultMicroConfig(1)
+			cfg.Factory = FactoryFor(k)
+			cfg.Threads = th
+			cfg.CS = 1000
+			cfg.Outside = 4000
+			cfg.Warmup = 200_000
+			cfg.Duration = sim.Cycles(4_000_000)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return cfgs
+}
+
+// BenchmarkCellsPerSec is the end-to-end simulator throughput metric:
+// grid cells simulated per wall-clock second on the fixed quick grid,
+// serially (one worker), so the number tracks single-machine hot-path
+// speed rather than host parallelism.
+func BenchmarkCellsPerSec(b *testing.B) {
+	cfgs := cellsGrid()
+	o := sweep.Options{Workers: 1, Seed: 42, Scale: 1.0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunSweep(o, cfgs)
+	}
+	cells := float64(b.N) * float64(len(cfgs))
+	b.ReportMetric(cells/b.Elapsed().Seconds(), "cells/sec")
+}

@@ -1,0 +1,197 @@
+// Command benchgate turns `go test -bench` text output into the CI
+// benchmark artifact and gates allocs/op against a stored BENCH_*.json
+// trajectory file.
+//
+// Modes:
+//
+//	go run ./scripts/benchgate -in bench.txt -json artifact.json -gate BENCH_7.json
+//	    Parse bench.txt (possibly -count=N repeats; medians are taken),
+//	    write the parsed results as JSON, and exit 1 if any benchmark's
+//	    allocs/op regresses past the stored after-value (measured >
+//	    2*stored + 2 — ns/op is machine-dependent and never gated).
+//
+//	go run ./scripts/benchgate -extract BENCH_7.json
+//	    Print the stored after-numbers as Go benchmark lines on stdout,
+//	    ready for `benchstat old.txt new.txt`.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchFile mirrors the BENCH_*.json schema (only what the gate needs).
+type benchFile struct {
+	Benchmarks map[string]struct {
+		After struct {
+			NsOp     float64 `json:"ns_op"`
+			AllocsOp float64 `json:"allocs_op"`
+		} `json:"after"`
+	} `json:"benchmarks"`
+}
+
+// result accumulates the per-metric samples of one benchmark across
+// -count repeats.
+type result map[string][]float64
+
+var procSuffix = regexp.MustCompile(`-[0-9]+$`)
+
+// parseBench reads `go test -bench` output: lines of the form
+// "BenchmarkName[-procs] <iters> <value> <unit> [<value> <unit>]...".
+func parseBench(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]result{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		r := out[name]
+		if r == nil {
+			r = result{}
+			out[name] = r
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			unit := fields[i+1]
+			r[unit] = append(r[unit], v)
+		}
+	}
+	return out, sc.Err()
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+func main() {
+	var (
+		in      = flag.String("in", "", "go test -bench output to parse")
+		jsonOut = flag.String("json", "", "write parsed medians as a JSON artifact to this file")
+		gate    = flag.String("gate", "", "BENCH_*.json file to gate allocs/op against")
+		extract = flag.String("extract", "", "print a BENCH_*.json file's after-numbers as benchmark lines and exit")
+	)
+	flag.Parse()
+
+	if *extract != "" {
+		var bf benchFile
+		data, err := os.ReadFile(*extract)
+		if err == nil {
+			err = json.Unmarshal(data, &bf)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		names := make([]string, 0, len(bf.Benchmarks))
+		for name := range bf.Benchmarks {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			b := bf.Benchmarks[name]
+			fmt.Printf("%s 1 %g ns/op %g allocs/op\n", name, b.After.NsOp, b.After.AllocsOp)
+		}
+		return
+	}
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -in <bench output> required (or -extract)")
+		os.Exit(2)
+	}
+	parsed, err := parseBench(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	if len(parsed) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmark lines found in %s\n", *in)
+		os.Exit(1)
+	}
+
+	medians := map[string]map[string]float64{}
+	for name, r := range parsed {
+		m := map[string]float64{}
+		for unit, samples := range r {
+			m[unit] = median(samples)
+		}
+		medians[name] = m
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(medians, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(medians), *jsonOut)
+	}
+
+	if *gate != "" {
+		var bf benchFile
+		data, err := os.ReadFile(*gate)
+		if err == nil {
+			err = json.Unmarshal(data, &bf)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		failed := false
+		names := make([]string, 0, len(bf.Benchmarks))
+		for name := range bf.Benchmarks {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			stored := bf.Benchmarks[name].After.AllocsOp
+			m, ok := medians[name]
+			if !ok {
+				fmt.Printf("benchgate: %s: stored in %s but not measured — skipped\n", name, *gate)
+				continue
+			}
+			got, ok := m["allocs/op"]
+			if !ok {
+				fmt.Printf("benchgate: %s: no allocs/op in output (missing b.ReportAllocs?)\n", name)
+				failed = true
+				continue
+			}
+			limit := 2*stored + 2
+			status := "ok"
+			if got > limit {
+				status = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("benchgate: %-34s allocs/op %6g (stored %g, limit %g) %s\n",
+				name, got, stored, limit, status)
+		}
+		if failed {
+			fmt.Fprintln(os.Stderr, "benchgate: allocs/op regression past stored baseline")
+			os.Exit(1)
+		}
+	}
+}
