@@ -4,7 +4,7 @@
 GO      ?= go
 WORKERS ?= 0# sweep workers: 0 = all CPUs, 1 = serial
 
-.PHONY: build test race bench bench-all bench-compare lint sweep smoke results scenarios serve-smoke ci
+.PHONY: build test race bench bench-all bench-compare lint sweep smoke results scenarios serve-smoke metrics-smoke ci
 
 build:
 	$(GO) build ./...
@@ -92,7 +92,7 @@ scenarios:
 	$(GO) run ./cmd/lockbench -scenario testdata/quick-scenario.json -shard 0/2 -json /tmp/lockin-scen/s0 > /dev/null
 	$(GO) run ./cmd/lockbench -scenario testdata/quick-scenario.json -shard 1/2 -json /tmp/lockin-scen/s1 > /dev/null
 	$(GO) run ./cmd/lockbench -scenario testdata/quick-scenario.json -merge /tmp/lockin-scen/s0,/tmp/lockin-scen/s1 -json /tmp/lockin-scen/merged -baseline /tmp/lockin-scen/full -diff
-	cmp /tmp/lockin-scen/full/scenario-quick.json /tmp/lockin-scen/merged/scenario-quick.json
+	$(GO) run ./scripts/runcmp /tmp/lockin-scen/full/scenario-quick.json /tmp/lockin-scen/merged/scenario-quick.json
 	$(GO) run ./cmd/lockbench -scenario testdata/multiaxis-scenario.json -workers 1 | sed '/done in/d' > /tmp/lockin-scen-ma-serial.txt
 	$(GO) run ./cmd/lockbench -scenario testdata/multiaxis-scenario.json -workers 8 | sed '/done in/d' > /tmp/lockin-scen-ma-parallel.txt
 	diff -u /tmp/lockin-scen-ma-serial.txt /tmp/lockin-scen-ma-parallel.txt
@@ -100,7 +100,7 @@ scenarios:
 	$(GO) run ./cmd/lockbench -scenario testdata/multiaxis-scenario.json -shard 0/2 -json /tmp/lockin-scen/ma-s0 > /dev/null
 	$(GO) run ./cmd/lockbench -scenario testdata/multiaxis-scenario.json -shard 1/2 -json /tmp/lockin-scen/ma-s1 > /dev/null
 	$(GO) run ./cmd/lockbench -scenario testdata/multiaxis-scenario.json -merge /tmp/lockin-scen/ma-s0,/tmp/lockin-scen/ma-s1 -json /tmp/lockin-scen/ma-merged -baseline /tmp/lockin-scen/ma-full -diff
-	cmp /tmp/lockin-scen/ma-full/scenario-multiaxis-quick.json /tmp/lockin-scen/ma-merged/scenario-multiaxis-quick.json
+	$(GO) run ./scripts/runcmp /tmp/lockin-scen/ma-full/scenario-multiaxis-quick.json /tmp/lockin-scen/ma-merged/scenario-multiaxis-quick.json
 	for spec in rocksdb mysql_ssd sqlite; do \
 		$(GO) run ./cmd/lockbench -experiment scenario:$$spec -quick -scale 0.25 -workers 1 > /tmp/lockin-s6-raw.txt || exit 1; \
 		sed '/done in/d' /tmp/lockin-s6-raw.txt > /tmp/lockin-s6-serial.txt; \
@@ -120,5 +120,11 @@ scenarios:
 # endpoint answers byte-identically to the CLI over the same stored run.
 serve-smoke:
 	sh scripts/serve-smoke.sh
+
+# Observability-only slice of the serve gate: enqueue + dedupe, then
+# assert /metrics (Prometheus text, cache_hits_total moving) and the
+# /healthz readiness JSON — the fast loop while touching telemetry.
+metrics-smoke:
+	sh scripts/serve-smoke.sh metrics
 
 ci: lint build test race smoke results scenarios serve-smoke bench-all bench-compare

@@ -75,10 +75,12 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"lockin/internal/bench/opts"
+	"lockin/internal/core"
 	"lockin/internal/experiments"
 	"lockin/internal/metrics"
 	"lockin/internal/results"
@@ -106,6 +108,7 @@ func main() {
 		diffGate = flag.Bool("diff", false, "with -baseline: exit 1 when any difference survives the tolerance")
 		mergeArg = flag.String("merge", "", "comma-separated shard store dirs: merge stored shards instead of simulating")
 		loadArg  = flag.String("load", "", "query a stored run file instead of simulating (composes with -slice/-project/-json/-baseline/-diff)")
+		traceArg = flag.String("trace", "", "diagnostic: 'cell=<idx>' simulates only that 1-based grid cell with lock tracing armed and prints its event timeline")
 	)
 	// The shared option surface — seed, scale, quick, workers, shard,
 	// slice, project, tol, tol-cols — binds with its canonical names,
@@ -140,6 +143,24 @@ func main() {
 	// project → print/save/diff.
 	if *loadArg != "" {
 		queryStored(*loadArg, o, q, *id, *scenFile, *mergeArg, *jsonDir, *baseline, *diffGate)
+		return
+	}
+
+	// Trace one cell: a diagnostic run, not a result run — it excludes
+	// every store/compare mode so a partial (one-cell) run can never be
+	// saved or diffed as if it were complete.
+	if *traceArg != "" {
+		cell, err := parseTraceArg(*traceArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *id == "all" || (*id == "" && *scenFile == "") || *mergeArg != "" || o.ShardCount > 1 ||
+			*jsonDir != "" || *baseline != "" || q.Active() {
+			fmt.Fprintln(os.Stderr, "lockbench: -trace inspects one cell of one experiment; it excludes 'all', -merge, -shard, -json, -baseline, -slice and -project")
+			os.Exit(2)
+		}
+		runTraced(selectExperiments(*id, *scenFile, "", o)[0], o, cell)
 		return
 	}
 
@@ -314,8 +335,9 @@ func simulate(e experiments.Experiment, o opts.Options, q opts.Query, progress b
 			}
 		}
 	}
-	cells := 0
-	eo.Progress = sweep.Counted(&cells, report)
+	var stats sweep.Stats
+	eo.Stats = &stats
+	eo.Progress = report
 	start := time.Now()
 	fmt.Printf("### %s — %s\n", e.ID, e.Title)
 	fmt.Printf("### paper: %s\n\n", e.Paper)
@@ -340,6 +362,11 @@ func simulate(e experiments.Experiment, o opts.Options, q opts.Query, progress b
 	// records its trajectory). CI output gates strip "done in" lines, so
 	// the wall-clock-dependent rate never breaks byte-identity checks.
 	elapsed := time.Since(start)
+	cells := int(stats.Cells())
+	// Provenance rides in Meta.Perf when the run is stored: excluded
+	// from cache identity and comparisons (see results.Meta), so it
+	// annotates without perturbing byte-identity.
+	run.Meta.Perf = results.NewPerf(elapsed, cells)
 	if cells > 0 && elapsed > 0 {
 		fmt.Printf("### %s done in %v (%d cells, %.1f cells/sec)\n\n",
 			e.ID, elapsed.Round(time.Millisecond), cells, float64(cells)/elapsed.Seconds())
@@ -347,6 +374,65 @@ func simulate(e experiments.Experiment, o opts.Options, q opts.Query, progress b
 		fmt.Printf("### %s done in %v\n\n", e.ID, elapsed.Round(time.Millisecond))
 	}
 	return run
+}
+
+// parseTraceArg parses the -trace value: cell=<1-based index>.
+func parseTraceArg(s string) (int, error) {
+	rest, ok := strings.CutPrefix(s, "cell=")
+	if !ok {
+		return 0, fmt.Errorf("lockbench: bad -trace %q, want cell=<index>", s)
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("lockbench: bad -trace cell index %q, want a positive integer", rest)
+	}
+	return n, nil
+}
+
+// traceRenderMax bounds the printed timeline per lock; the recorder
+// ring retains more (traceCapacity) for the query helpers.
+const (
+	traceCapacity  = 4096
+	traceRenderMax = 200
+)
+
+// runTraced is the -trace path: simulate exactly one grid cell with
+// the core trace-capture hook armed, then print each instrumented
+// lock's timeline. The cell keeps its full-grid seed (sweep.Options
+// OnlyCell), so the traced execution is the same one the full run
+// simulates.
+func runTraced(e experiments.Experiment, o opts.Options, cell int) {
+	if e.Aggregate {
+		fmt.Fprintf(os.Stderr, "lockbench: %s aggregates statistics across its whole grid; -trace runs one cell — pick a grid experiment\n", e.ID)
+		os.Exit(2)
+	}
+	eo := o.ExperimentOptions()
+	eo.OnlyCell = cell
+	eo.Workers = 1 // one cell; a worker pool would only interleave arming
+	var stats sweep.Stats
+	eo.Stats = &stats
+
+	fmt.Printf("### %s — %s\n### trace cell %d\n\n", e.ID, e.Title, cell)
+	stop := core.CaptureTraces(traceCapacity)
+	tabs := e.Run(eo)
+	recs := stop()
+	if stats.Cells() == 0 {
+		fmt.Fprintf(os.Stderr, "lockbench: %s has no cell %d — the grid is smaller\n", e.ID, cell)
+		os.Exit(1)
+	}
+	printTables(tabs)
+	if len(recs) == 0 {
+		fmt.Println("### no locks instrumented (the cell built its locks outside core.New)")
+		return
+	}
+	for i, r := range recs {
+		fmt.Printf("--- lock %d/%d: %d events retained\n", i+1, len(recs), r.Len())
+		if r.Len() > traceRenderMax {
+			fmt.Printf("    (showing the last %d)\n", traceRenderMax)
+		}
+		fmt.Print(r.Render(traceRenderMax))
+		fmt.Println()
+	}
 }
 
 // listExperiments prints every registered experiment — the built-in

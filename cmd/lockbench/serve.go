@@ -4,7 +4,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -12,6 +11,7 @@ import (
 	"time"
 
 	"lockin/internal/serve"
+	"lockin/internal/telemetry"
 )
 
 // runServe is the `lockbench serve` subcommand: the benchmark service
@@ -29,21 +29,22 @@ func runServe(args []string) {
 		fs.PrintDefaults()
 	}
 	var (
-		addr  = fs.String("addr", ":8347", "listen address")
-		cache = fs.String("cache", "runs-cache", "run-cache directory: completed runs land here as <cache key>.json; identical submissions answer from it without simulating")
-		pool  = fs.Int("pool", 2, "sweeps simulated concurrently (each sweep additionally parallelizes per its workers option)")
-		queue = fs.Int("queue", 64, "submission queue depth; a full queue answers 503 instead of buffering unboundedly")
-		quiet = fs.Bool("quiet", false, "suppress per-request and per-job log lines")
+		addr     = fs.String("addr", ":8347", "listen address")
+		cache    = fs.String("cache", "runs-cache", "run-cache directory: completed runs land here as <cache key>.json; identical submissions answer from it without simulating")
+		pool     = fs.Int("pool", 2, "sweeps simulated concurrently (each sweep additionally parallelizes per its workers option)")
+		queue    = fs.Int("queue", 64, "submission queue depth; a full queue answers 503 (with Retry-After) instead of buffering unboundedly")
+		logLevel = fs.String("log-level", "info", "structured-log level: debug, info, warn or error (warn silences per-request lines)")
+		logJSON  = fs.Bool("log-json", false, "emit structured logs as JSON instead of logfmt-style text")
 	)
 	fs.Parse(args) // ExitOnError: a bad flag exits 2
 
-	logger := log.New(os.Stderr, "", log.LstdFlags)
-	logf := logger.Printf
-	if *quiet {
-		logf = nil
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lockbench serve: %v\n", err)
+		os.Exit(2)
 	}
 	srv, err := serve.New(serve.Config{
-		CacheDir: *cache, Pool: *pool, QueueDepth: *queue, Log: logf,
+		CacheDir: *cache, Pool: *pool, QueueDepth: *queue, Logger: logger,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lockbench serve: %v\n", err)
@@ -57,7 +58,7 @@ func runServe(args []string) {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	logger.Printf("lockbench serve: listening on %s (cache %s, pool %d)", *addr, *cache, *pool)
+	logger.Info("listening", "addr", *addr, "cache", *cache, "pool", *pool)
 
 	select {
 	case err := <-errc:
@@ -65,7 +66,7 @@ func runServe(args []string) {
 		os.Exit(1)
 	case <-ctx.Done():
 	}
-	logger.Printf("lockbench serve: shutting down")
+	logger.Info("shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	hs.Shutdown(shutCtx)

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"lockin/internal/bench/opts"
 	"lockin/internal/machine"
@@ -45,10 +46,19 @@ func main() {
 		os.Exit(2)
 	}
 	defer stopProf()
+	log, err := o.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mutexeetune: %v\n", err)
+		os.Exit(2)
+	}
 
+	start := time.Now()
 	sleepLat := measureSleepLatency(o.Seed)
 	turnaround := measureTurnaround(o.Seed, sim.Cycles(50_000*o.Scale))
 	coherence := measureCoherence(o.Seed)
+	wall := time.Since(start)
+	log.Debug("calibration done", "wall", wall,
+		"sleep_latency", sleepLat, "turnaround", turnaround, "coherence", coherence)
 
 	// The paper's rules of thumb: the lock-side spin must comfortably
 	// exceed the sleep latency (spinning less than ≈4000 cycles makes
@@ -75,6 +85,9 @@ func main() {
 			Meta:   o.Meta("mutexeetune"),
 			Tables: []*metrics.Table{t},
 		}
+		// The three probes are the whole "grid"; Perf still records
+		// wall time and host so stored tunings carry provenance.
+		run.Meta.Perf = results.NewPerf(wall, 3)
 		path, err := results.Save(*jsonDir, run)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"lockin/internal/bench/opts"
 	"lockin/internal/core"
@@ -54,6 +55,11 @@ func main() {
 		os.Exit(2)
 	}
 	defer stopProf()
+	log, err := o.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "powerprof: %v\n", err)
+		os.Exit(2)
+	}
 	if *step < 1 {
 		fmt.Fprintln(os.Stderr, "powerprof: -step must be ≥ 1")
 		os.Exit(2)
@@ -69,7 +75,8 @@ func main() {
 
 	t := metrics.NewTable(fmt.Sprintf("power breakdown — %s workload, %s", *mode, vf),
 		"hyper-threads", "total(W)", "package(W)", "cores(W)", "DRAM(W)")
-	g := sweep.NewGrid(sweep.Options{Workers: o.Workers, Seed: o.Seed})
+	var stats sweep.Stats
+	g := sweep.NewGrid(sweep.Options{Workers: o.Workers, Seed: o.Seed, Stats: &stats})
 	window := sim.Cycles(2_000_000 * o.Scale)
 	for n := 0; n <= *max; n += effStep {
 		n := n
@@ -78,14 +85,18 @@ func main() {
 			return []sweep.Row{{n, p.Total, p.Package, p.Cores, p.DRAM}}
 		})
 	}
+	start := time.Now()
 	g.Into(t)
+	wall := time.Since(start)
 	fmt.Println(t)
+	log.Debug("sweep done", "cells", stats.Cells(), "wall", wall, "busy", stats.Busy())
 
 	if *jsonDir != "" {
 		run := &results.Run{
 			Meta:   o.Meta("powerprof"),
 			Tables: []*metrics.Table{t},
 		}
+		run.Meta.Perf = results.NewPerf(wall, int(stats.Cells()))
 		path, err := results.Save(*jsonDir, run)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -22,6 +22,8 @@ package opts
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"net/url"
 	"sort"
@@ -30,6 +32,7 @@ import (
 
 	"lockin/internal/experiments"
 	"lockin/internal/results"
+	"lockin/internal/telemetry"
 )
 
 // Options is every knob shared between the CLI binaries and the HTTP
@@ -67,11 +70,17 @@ type Options struct {
 	// serving process, not a property of the run.
 	CPUProfile string
 	MemProfile string
+	// LogLevel/LogJSON shape the binary's structured logger (-log-level,
+	// -log-json; see Logger). CLI-only, like -shard: logging is a
+	// property of the running process, never of a run, so the service
+	// accepts neither from a URL query.
+	LogLevel string
+	LogJSON  bool
 }
 
 // Defaults returns the option values every consumer starts from: the
 // fixed default seed, unit scale, full grids, one worker per CPU.
-func Defaults() Options { return Options{Seed: 42, Scale: 1.0} }
+func Defaults() Options { return Options{Seed: 42, Scale: 1.0, LogLevel: "info"} }
 
 // Flags holds options bound onto a flag set but not yet finalized:
 // scalar fields bind directly, composite flags (-shard, -slice,
@@ -96,6 +105,8 @@ func FromRunFlags(fs *flag.FlagSet) *Flags {
 	fs.IntVar(&f.opts.Workers, "workers", 0, "parallel sweep workers (0 = all CPUs, 1 = serial)")
 	fs.StringVar(&f.opts.CPUProfile, "cpuprofile", "", "write a CPU pprof profile of the run to this file")
 	fs.StringVar(&f.opts.MemProfile, "memprofile", "", "write a heap pprof profile at exit to this file")
+	fs.StringVar(&f.opts.LogLevel, "log-level", f.opts.LogLevel, "structured-log level: debug, info, warn or error")
+	fs.BoolVar(&f.opts.LogJSON, "log-json", false, "emit structured logs as JSON instead of logfmt-style text")
 	return f
 }
 
@@ -295,6 +306,9 @@ func (o *Options) NormalizeAndValidate() error {
 	if o.ShardCount < 0 || o.ShardIndex < 0 || (o.ShardCount > 0 && o.ShardIndex >= o.ShardCount) {
 		return fmt.Errorf("bad shard %d/%d: want 0 <= index < count", o.ShardIndex, o.ShardCount)
 	}
+	if _, err := telemetry.ParseLevel(o.LogLevel); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -378,6 +392,16 @@ func ParseShard(s string) (idx, count int, err error) {
 		return 0, 0, fmt.Errorf("bad shard %q: index out of range", s)
 	}
 	return idx, count, nil
+}
+
+// Logger builds the structured logger these options ask for, writing
+// to w — the one construction every binary shares, so -log-level and
+// -log-json behave identically across lockbench, powerprof,
+// mutexeetune and the service. The level was validated by
+// NormalizeAndValidate, so construction cannot fail after a clean
+// options assembly.
+func (o Options) Logger(w io.Writer) (*slog.Logger, error) {
+	return telemetry.NewLogger(w, o.LogLevel, o.LogJSON)
 }
 
 // Tolerance assembles the diff tolerance of baseline comparisons.

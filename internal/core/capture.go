@@ -1,0 +1,60 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lockin/internal/trace"
+)
+
+// Trace capture is a process-wide hook over New: while armed, every
+// lock the constructor hands out is wrapped in a Traced recorder. It
+// exists so a diagnostic driver (lockbench -trace) can see inside an
+// experiment without the experiment knowing — workloads keep calling
+// New and get timelines for free.
+//
+// The disarm state costs one atomic load per New call, and New is a
+// per-cell setup path, never the simulation hot loop.
+var (
+	captureOn   atomic.Bool
+	captureMu   sync.Mutex // guards captureCap/captureRecs while armed
+	captureCap  int
+	captureRecs []*trace.Recorder
+)
+
+// CaptureTraces arms the hook: every lock built by New until the
+// returned stop function runs is wrapped with a recorder holding up to
+// capacity events. stop disarms the hook and returns the recorders in
+// lock-creation order. Capture is process-wide, so callers should
+// confine the armed window to a single-cell run (sweep OnlyCell) —
+// arming it under a parallel sweep interleaves cells' locks.
+func CaptureTraces(capacity int) (stop func() []*trace.Recorder) {
+	captureMu.Lock()
+	defer captureMu.Unlock()
+	captureCap = capacity
+	captureRecs = nil
+	captureOn.Store(true)
+	return func() []*trace.Recorder {
+		captureMu.Lock()
+		defer captureMu.Unlock()
+		captureOn.Store(false)
+		recs := captureRecs
+		captureRecs = nil
+		return recs
+	}
+}
+
+// maybeTrace is New's exit hook: a no-op unless capture is armed.
+func maybeTrace(l Lock) Lock {
+	if !captureOn.Load() {
+		return l
+	}
+	captureMu.Lock()
+	defer captureMu.Unlock()
+	if !captureOn.Load() { // disarmed between the fast check and the lock
+		return l
+	}
+	t := NewTraced(l, captureCap)
+	captureRecs = append(captureRecs, t.rec)
+	return t
+}

@@ -81,7 +81,13 @@ func ParseKind(name string) (Kind, error) {
 }
 
 // New instantiates a lock of the given kind with default options.
+// While trace capture is armed (CaptureTraces), the lock comes back
+// wrapped in a Traced recorder.
 func New(m *machine.Machine, k Kind) Lock {
+	return maybeTrace(newLock(m, k))
+}
+
+func newLock(m *machine.Machine, k Kind) Lock {
 	switch k {
 	case KindMutex:
 		return NewMutex(m, DefaultMutexOptions())

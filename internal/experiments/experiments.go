@@ -40,6 +40,13 @@ type Options struct {
 	ShardCount int
 	// Progress, when non-nil, receives per-experiment sweep progress.
 	Progress func(done, total int)
+	// OnlyCell, when > 0, simulates just that 1-based grid cell (the
+	// index run queries report), keeping its full-grid seed — the
+	// trace-mode hook. See sweep.Options.OnlyCell.
+	OnlyCell int
+	// Stats, when non-nil, accumulates engine counters (cells
+	// completed, worker busy time) across the run's sweeps.
+	Stats *sweep.Stats
 }
 
 // DefaultOptions returns quick settings with a fixed seed.
@@ -67,7 +74,9 @@ func (o Options) SweepOptions() sweep.Options {
 		Quick:      o.Quick,
 		ShardIndex: o.ShardIndex,
 		ShardCount: o.ShardCount,
+		OnlyCell:   o.OnlyCell,
 		Progress:   o.Progress,
+		Stats:      o.Stats,
 	}
 }
 

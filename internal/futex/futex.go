@@ -235,6 +235,7 @@ func waiterTimeout(obj any, _, _ uint64) {
 	wt.timedOut = true
 	wt.w.remove(wt)
 	tb.stats.Timeouts++
+	totalTimeouts.Add(1)
 	tb.s.Unblock(wt.t, 0)
 }
 
@@ -263,6 +264,9 @@ func (tb *Table) Wake(t *sched.Thread, w *Word, n int) int {
 	for woken < n && len(w.waiters) > 0 {
 		wt := w.waiters[0]
 		w.remove(wt)
+		if wt.timer != (sim.Event{}) && !wt.timer.Cancelled() {
+			totalTimeoutWakeRaces.Add(1)
+		}
 		tb.k.Cancel(wt.timer)
 		wt.timer = sim.Event{}
 		tb.s.Unblock(wt.t, tb.cfg.WakeFixup)

@@ -1,0 +1,24 @@
+package futex
+
+import "sync/atomic"
+
+// Process-wide futex telemetry, aggregated across every Table (one per
+// grid cell in a sweep). Unlike the per-Table Stats, these survive
+// table teardown, so a scrape surface (the benchmark service's
+// /metrics) can report totals for runs that already finished. Both
+// paths are rare relative to the simulator's event loop — a timeout
+// expiry and a wake racing a still-armed timer — so direct atomic adds
+// are fine here; the per-event hot path never touches them.
+var (
+	totalTimeouts         atomic.Uint64
+	totalTimeoutWakeRaces atomic.Uint64
+)
+
+// GlobalTimeouts returns how many FUTEX_WAITs expired their timeout
+// across all tables since process start.
+func GlobalTimeouts() uint64 { return totalTimeouts.Load() }
+
+// GlobalTimeoutWakeRaces returns how many FUTEX_WAKEs dequeued a waiter
+// whose timeout timer was still armed — the wake won the race the
+// MUTEXEE spin-then-park protocol deliberately runs.
+func GlobalTimeoutWakeRaces() uint64 { return totalTimeoutWakeRaces.Load() }

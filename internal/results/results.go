@@ -18,11 +18,14 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"runtime/debug"
 	"sort"
 	"strings"
+	"time"
 
 	"lockin/internal/metrics"
 	"lockin/internal/sweep"
@@ -66,8 +69,46 @@ type Meta struct {
 	// a sliced plane into a store directory can never silently
 	// overwrite the expensive full baseline it was cut from.
 	Query string `json:"query,omitempty"`
+	// Perf records how the run was produced in wall-clock terms
+	// (provenance, not results): elapsed time, cell throughput and the
+	// host that simulated it. It is deliberately excluded from run
+	// identity — CacheKey ignores it, Merge drops it, and byte-level
+	// comparisons of run content go through scripts/runcmp, which nils
+	// it on both sides.
+	Perf *Perf `json:"perf,omitempty"`
 	// Version is the git-describable build version (see Version).
 	Version string `json:"version"`
+}
+
+// Perf is wall-clock provenance of one run: what it cost to produce,
+// never what it measured. Two runs with identical tables and different
+// Perf are the same run.
+type Perf struct {
+	// WallMS is the elapsed wall-clock time of the simulation, in
+	// milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// Cells is how many grid cells the run simulated.
+	Cells int `json:"cells"`
+	// CellsPerSec is Cells divided by the wall time.
+	CellsPerSec float64 `json:"cells_per_sec"`
+	// Host describes the producing machine: GOOS/GOARCH, CPU count and
+	// Go version.
+	Host string `json:"host"`
+}
+
+// NewPerf builds run provenance from an elapsed wall time and a cell
+// count. Values are rounded so the JSON stays readable.
+func NewPerf(wall time.Duration, cells int) *Perf {
+	p := &Perf{
+		WallMS: math.Round(wall.Seconds()*1e6) / 1e3,
+		Cells:  cells,
+		Host: fmt.Sprintf("%s/%s cpus=%d %s",
+			runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), runtime.Version()),
+	}
+	if wall > 0 {
+		p.CellsPerSec = math.Round(float64(cells)/wall.Seconds()*10) / 10
+	}
+	return p
 }
 
 // Run is one persisted experiment run.
@@ -317,6 +358,9 @@ func Merge(shards ...*Run) (*Run, error) {
 	}
 	merged := &Run{Meta: first.Meta}
 	merged.Meta.ShardIndex, merged.Meta.ShardCount = 0, 0
+	// Provenance is per-producing-process; a merged run was produced by
+	// several, so it carries none.
+	merged.Meta.Perf = nil
 	for i, s := range ordered {
 		m := s.Meta
 		if m.Experiment != first.Meta.Experiment || m.Seed != first.Meta.Seed ||

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"lockin/internal/metrics"
 	"lockin/internal/sweep"
@@ -467,5 +468,52 @@ func TestLoadExperimentErrors(t *testing.T) {
 	file := filepath.Join(empty, "demo.json")
 	if _, err := LoadExperiment(file, "demo"); err == nil || !strings.Contains(err.Error(), "not a store directory") {
 		t.Errorf("file as store: err = %v, want 'not a store directory'", err)
+	}
+}
+
+// TestPerfProvenance pins the Perf contract: NewPerf computes rounded
+// throughput, Perf round-trips through Save/Load, it never enters the
+// cache key, and Merge drops it (a merged run has no single producer).
+func TestPerfProvenance(t *testing.T) {
+	p := NewPerf(2*time.Second, 90)
+	if p.WallMS != 2000 || p.Cells != 90 || p.CellsPerSec != 45 {
+		t.Fatalf("NewPerf = %+v, want wall 2000ms, 90 cells, 45 cells/sec", p)
+	}
+	if p.Host == "" {
+		t.Fatal("NewPerf left Host empty")
+	}
+	if z := NewPerf(0, 5); z.CellsPerSec != 0 {
+		t.Fatalf("zero wall time computed cells/sec %v", z.CellsPerSec)
+	}
+
+	r := demoRun(3.5, 12.25)
+	bare := r.Meta.CacheKey()
+	r.Meta.Perf = p
+	if r.Meta.CacheKey() != bare {
+		t.Fatal("Perf changed the cache key; provenance must not affect run identity")
+	}
+	dir := t.TempDir()
+	if _, err := Save(dir, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadExperiment(dir, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta.Perf == nil || *got.Meta.Perf != *p {
+		t.Fatalf("Perf did not round-trip: %+v vs %+v", got.Meta.Perf, p)
+	}
+
+	a, b := demoRun(1, 2), demoRun(1, 2)
+	a.Meta.ShardIndex, a.Meta.ShardCount = 0, 2
+	b.Meta.ShardIndex, b.Meta.ShardCount = 1, 2
+	a.Meta.Perf = NewPerf(time.Second, 2)
+	b.Meta.Perf = NewPerf(3*time.Second, 2)
+	merged, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Meta.Perf != nil {
+		t.Fatalf("Merge kept shard provenance %+v", merged.Meta.Perf)
 	}
 }

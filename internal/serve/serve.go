@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -37,6 +38,8 @@ import (
 	"lockin/internal/experiments"
 	"lockin/internal/results"
 	"lockin/internal/scenario"
+	"lockin/internal/sweep"
+	"lockin/internal/telemetry"
 )
 
 // Config tunes a Server.
@@ -51,24 +54,32 @@ type Config struct {
 	// option). Default 2.
 	Pool int
 	// QueueDepth bounds the submission queue: a full queue rejects new
-	// work with 503 instead of buffering unboundedly. Default 64.
+	// work with 503 (and a Retry-After hint) instead of buffering
+	// unboundedly. Default 64.
 	QueueDepth int
-	// Log receives one line per request and job transition (nil = silent).
-	Log func(format string, args ...any)
+	// Logger receives structured request and job-lifecycle records —
+	// one line per request (with a monotonic request id) and per run
+	// transition (with a run id). Nil discards everything.
+	Logger *slog.Logger
 }
 
 // Server is the benchmark service. Create with New, mount Handler, and
 // Close when done (drains in-flight sweeps).
 type Server struct {
 	cfg   Config
+	log   *slog.Logger
 	queue chan *job
 	wg    sync.WaitGroup
+	start time.Time
 
 	mu     sync.Mutex
 	jobs   map[string]*job
 	closed bool
 
 	simulated atomic.Int64
+	reqID     atomic.Uint64
+	runID     atomic.Uint64
+	metrics   *serverMetrics
 }
 
 // New creates the cache directory and starts the worker pool.
@@ -85,11 +96,18 @@ func New(cfg Config) (*Server, error) {
 	if err := os.MkdirAll(cfg.CacheDir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: create run cache %s: %w", cfg.CacheDir, err)
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = telemetry.Discard()
+	}
 	s := &Server{
 		cfg:   cfg,
+		log:   log,
 		queue: make(chan *job, cfg.QueueDepth),
 		jobs:  map[string]*job{},
+		start: time.Now(),
 	}
+	s.metrics = newServerMetrics(s)
 	for i := 0; i < cfg.Pool; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -114,12 +132,6 @@ func (s *Server) Close() {
 // tests assert.
 func (s *Server) Simulated() int64 { return s.simulated.Load() }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Log != nil {
-		s.cfg.Log(format, args...)
-	}
-}
-
 // worker drains the submission queue; one worker runs one sweep at a
 // time.
 func (s *Server) worker() {
@@ -133,27 +145,35 @@ func (s *Server) worker() {
 // The cache file is written atomically (tmp + rename), so a concurrent
 // GET either sees the complete run or none at all.
 func (s *Server) runJob(j *job) {
+	rid := s.runID.Add(1)
+	log := s.log.With("run", rid, "key", j.key)
 	defer func() {
 		if p := recover(); p != nil {
 			j.fail(fmt.Sprintf("simulation panicked: %v", p))
-			s.logf("serve: run %s failed: %v", j.key, p)
+			s.metrics.failed.Inc()
+			log.Error("run panicked", "panic", p)
 		}
 	}()
 	j.setRunning()
-	s.logf("serve: run %s started (%s, seed %d, scale %g, quick %t)",
-		j.key, j.exp.ID, j.opts.Seed, j.opts.Scale, j.opts.Quick)
+	log.Info("run started", "experiment", j.exp.ID,
+		"seed", j.opts.Seed, "scale", j.opts.Scale, "quick", j.opts.Quick)
 	start := time.Now()
+	var stats sweep.Stats
 	eo := j.opts.ExperimentOptions()
 	eo.Progress = j.progress
+	eo.Stats = &stats
 	tables := j.exp.Run(eo)
+	wall := time.Since(start)
 	run := &results.Run{Meta: j.opts.RunMeta(j.exp), Tables: tables}
+	run.Meta.Perf = results.NewPerf(wall, int(stats.Cells()))
 	b, err := results.Encode(run)
 	if err == nil {
 		err = writeAtomic(s.cachePath(j.key), b)
 	}
 	if err != nil {
 		j.fail(err.Error())
-		s.logf("serve: run %s failed: %v", j.key, err)
+		s.metrics.failed.Inc()
+		log.Error("run failed", "err", err)
 		return
 	}
 	s.simulated.Add(1)
@@ -163,7 +183,8 @@ func (s *Server) runJob(j *job) {
 	s.mu.Lock()
 	delete(s.jobs, j.key)
 	s.mu.Unlock()
-	s.logf("serve: run %s done in %v", j.key, time.Since(start).Round(time.Millisecond))
+	log.Info("run done", "dur", wall.Round(time.Millisecond),
+		"cells", stats.Cells(), "cells_per_sec", run.Meta.Perf.CellsPerSec)
 }
 
 func (s *Server) cachePath(key string) string {
@@ -198,52 +219,94 @@ var errBusy = errors.New("serve: submission queue is full, retry later")
 
 // enqueue dedupes a submission against the in-flight table and the
 // queue's capacity. It returns the job accepting the submission —
-// either a previously submitted identical one or a fresh one.
-func (s *Server) enqueue(key string, e experiments.Experiment, o opts.Options) (*job, error) {
+// either a previously submitted identical one (attached true, the
+// in-flight flavor of a cache hit) or a fresh one.
+func (s *Server) enqueue(key string, e experiments.Experiment, o opts.Options) (j *job, attached bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, errors.New("serve: shutting down")
+		return nil, false, errors.New("serve: shutting down")
 	}
 	if j, ok := s.jobs[key]; ok && j.active() {
-		return j, nil
+		return j, true, nil
 	}
-	j := newJob(key, e, o)
+	j = newJob(key, e, o)
 	select {
 	case s.queue <- j:
 		s.jobs[key] = j
-		return j, nil
+		return j, false, nil
 	default:
-		return nil, errBusy
+		return nil, false, errBusy
 	}
 }
 
-// Handler returns the service's HTTP routes.
+// Handler returns the service's HTTP routes. Every route except the
+// scrape endpoint itself is instrumented: a per-route latency
+// histogram, a monotonic request id and one structured log line.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
-	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/runs", s.handleList)
-	mux.HandleFunc("GET /v1/runs/{key}", s.handleGet)
-	mux.HandleFunc("GET /v1/runs/{key}/slice", s.handleSlice)
-	mux.HandleFunc("GET /v1/runs/{key}/project", s.handleProject)
-	mux.HandleFunc("GET /v1/runs/{key}/events", s.handleEvents)
-	mux.HandleFunc("GET /v1/diff", s.handleDiff)
-	return s.logRequests(mux)
+	mux.Handle("GET /metrics", s.metrics.reg.Handler())
+	for route, h := range map[string]http.HandlerFunc{
+		"GET /healthz":               s.handleHealthz,
+		"GET /v1/experiments":        s.handleExperiments,
+		"POST /v1/runs":              s.handleSubmit,
+		"GET /v1/runs":               s.handleList,
+		"GET /v1/runs/{key}":         s.handleGet,
+		"GET /v1/runs/{key}/slice":   s.handleSlice,
+		"GET /v1/runs/{key}/project": s.handleProject,
+		"GET /v1/runs/{key}/events":  s.handleEvents,
+		"GET /v1/diff":               s.handleDiff,
+	} {
+		mux.HandleFunc(route, s.instrument(route, h))
+	}
+	return mux
 }
 
-func (s *Server) logRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		next.ServeHTTP(w, r)
-		s.logf("serve: %s %s (%v)", r.Method, r.URL.RequestURI(), time.Since(start).Round(time.Microsecond))
-	})
+// healthResponse answers GET /healthz: overall readiness plus the
+// load indicators an orchestrator's probe wants to see. Status is
+// "ok" (HTTP 200) or "degraded" (503, the run cache is not writable —
+// simulations would complete and then fail to land).
+type healthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+	ActiveJobs    int     `json:"active_jobs"`
+	CacheWritable bool    `json:"cache_writable"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ok\n")
+	s.mu.Lock()
+	active := 0
+	for _, j := range s.jobs {
+		if j.active() {
+			active++
+		}
+	}
+	s.mu.Unlock()
+	resp := healthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		ActiveJobs:    active,
+		CacheWritable: true,
+	}
+	// Probe the cache directory the way runJob's atomic write will use
+	// it: if the probe file cannot be created, completed runs cannot
+	// land and the server is degraded.
+	if f, err := os.CreateTemp(s.cfg.CacheDir, ".healthz-*"); err != nil {
+		resp.Status = "degraded"
+		resp.CacheWritable = false
+	} else {
+		f.Close()
+		os.Remove(f.Name())
+	}
+	code := http.StatusOK
+	if resp.Status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
 }
 
 // experimentInfo is one row of the /v1/experiments listing — the HTTP
@@ -333,14 +396,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	key := o.RunMeta(e).CacheKey()
 	resp := submitResponse{Key: key, Experiment: e.ID, URL: "/v1/runs/" + key}
 	if s.cachedBytes(key) != nil {
+		s.metrics.cacheHits.Inc()
 		resp.Status = statusCached
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	j, err := s.enqueue(key, e, o)
+	j, attached, err := s.enqueue(key, e, o)
 	if err != nil {
+		s.metrics.rejected.Inc()
+		if errors.Is(err, errBusy) {
+			// The queue drains as running sweeps finish; hint the
+			// client at a short backoff instead of a tight retry loop.
+			w.Header().Set("Retry-After", "1")
+		}
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
+	}
+	if attached {
+		// Joining an identical in-flight submission is the other form
+		// of a cache hit: this request triggers no simulation either.
+		s.metrics.cacheHits.Inc()
+	} else {
+		s.metrics.cacheMisses.Inc()
 	}
 	resp.Status = j.snapshot().Status
 	writeJSON(w, http.StatusAccepted, resp)
@@ -374,6 +451,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if b := s.cachedBytes(key); b != nil {
+		s.metrics.runsServed.Inc()
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(b)
 		return
@@ -439,7 +517,7 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	writeRun(w, sliced)
+	s.writeRun(w, sliced)
 }
 
 // handleProject answers GET /v1/runs/{key}/project?axes=a,b — the
@@ -472,7 +550,7 @@ func (s *Server) handleProject(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	writeRun(w, projected)
+	s.writeRun(w, projected)
 }
 
 // diffResponse answers GET /v1/diff.
@@ -575,6 +653,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	ch, cancel := j.subscribe()
 	defer cancel()
+	s.metrics.sseSubs.Add(1)
+	defer s.metrics.sseSubs.Add(-1)
 	send(j.snapshot())
 	for {
 		select {
@@ -597,13 +677,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeRun serves a (possibly queried) run in the store's byte
-// encoding.
-func writeRun(w http.ResponseWriter, r *results.Run) {
+// encoding, counting it as a served run.
+func (s *Server) writeRun(w http.ResponseWriter, r *results.Run) {
 	b, err := results.Encode(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	s.metrics.runsServed.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(b)
 }

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -43,7 +44,6 @@ func newTestServer(t *testing.T) (*serve.Server, *httptest.Server) {
 	srv, err := serve.New(serve.Config{
 		CacheDir: t.TempDir(),
 		Pool:     2,
-		Log:      t.Logf,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -122,8 +122,24 @@ func submitAndWait(t *testing.T, hs *httptest.Server, path, body string) (string
 func TestHealthz(t *testing.T) {
 	_, hs := newTestServer(t)
 	code, b := get(t, hs, "/healthz")
-	if code != http.StatusOK || !strings.Contains(string(b), "ok") {
+	if code != http.StatusOK {
 		t.Fatalf("healthz: status %d, body %q", code, b)
+	}
+	var h struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		QueueDepth    int     `json:"queue_depth"`
+		QueueCapacity int     `json:"queue_capacity"`
+		CacheWritable bool    `json:"cache_writable"`
+	}
+	if err := json.Unmarshal(b, &h); err != nil {
+		t.Fatalf("healthz is not JSON: %v (body %q)", err, b)
+	}
+	if h.Status != "ok" || !h.CacheWritable {
+		t.Errorf("healthz = %+v, want status ok with a writable cache", h)
+	}
+	if h.QueueCapacity <= 0 || h.QueueDepth < 0 || h.UptimeSeconds < 0 {
+		t.Errorf("healthz load fields out of range: %+v", h)
 	}
 }
 
@@ -467,4 +483,204 @@ func decodeRun(t *testing.T, raw []byte) *results.Run {
 		t.Fatalf("stored run does not decode: %v", err)
 	}
 	return &run
+}
+
+// promSamples fetches /metrics, checks the exposition content type and
+// basic text-format validity, and returns the unlabeled scalar samples
+// by name.
+func promSamples(t *testing.T, hs *httptest.Server) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics content-type = %q, want the 0.0.4 exposition type", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typed := map[string]bool{}
+	vals := map[string]float64{}
+	for _, line := range strings.Split(strings.TrimRight(string(b), "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			typed[f[2]] = true
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok || name == "" {
+			t.Fatalf("line %q is not a valid Prometheus sample", line)
+		}
+		if strings.Contains(name, "{") {
+			continue // labeled series (histograms); validity only
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("sample %q has non-numeric value %q", name, val)
+		}
+		if !typed[name] && !typed[strings.TrimSuffix(name, "_sum")] && !typed[strings.TrimSuffix(name, "_count")] {
+			t.Fatalf("sample %q has no preceding # TYPE", name)
+		}
+		vals[name] = f
+	}
+	return vals
+}
+
+// TestMetricsEndpoint walks enqueue → cache hit → slice and asserts the
+// scrape moves with it: one miss then one hit, exactly one simulation,
+// served runs counting both the stored fetch and the slice, and the
+// engine/simulator totals advancing. Process-wide counters (sweep, sim)
+// are compared as deltas: other tests in the binary also simulate.
+func TestMetricsEndpoint(t *testing.T) {
+	_, hs := newTestServer(t)
+	before := promSamples(t, hs)
+
+	key, _ := submitAndWait(t, hs, "/v1/runs?quick=1", testSpec)
+	if code, b := post(t, hs, "/v1/runs?quick=1", testSpec); code != http.StatusOK {
+		t.Fatalf("second POST: status %d, body %s", code, b)
+	}
+	if code, _ := get(t, hs, "/v1/runs/"+key+"/slice?lock=MUTEX"); code != http.StatusOK {
+		t.Fatalf("slice: status %d", code)
+	}
+
+	after := promSamples(t, hs)
+	if after["cache_misses_total"] != 1 {
+		t.Errorf("cache_misses_total = %v, want 1", after["cache_misses_total"])
+	}
+	if after["cache_hits_total"] < 1 {
+		t.Errorf("cache_hits_total = %v, want >= 1", after["cache_hits_total"])
+	}
+	if after["runs_simulated_total"] != 1 {
+		t.Errorf("runs_simulated_total = %v, want 1", after["runs_simulated_total"])
+	}
+	if ratio := after["cache_hit_ratio"]; ratio < 0.5 || ratio > 1 {
+		t.Errorf("cache_hit_ratio = %v, want within [0.5, 1]", ratio)
+	}
+	// The completion poll fetched the stored run at least once; the
+	// slice fetch adds one more.
+	if after["runs_served_total"] < 2 {
+		t.Errorf("runs_served_total = %v, want >= 2", after["runs_served_total"])
+	}
+	if after["queue_capacity"] <= 0 {
+		t.Errorf("queue_capacity = %v, want > 0", after["queue_capacity"])
+	}
+	if d := after["sweep_cells_total"] - before["sweep_cells_total"]; d < 2 {
+		t.Errorf("sweep_cells_total moved by %v, want >= 2 (the spec's grid)", d)
+	}
+	if d := after["sim_event_pool_recycles_total"] - before["sim_event_pool_recycles_total"]; d <= 0 {
+		t.Errorf("sim_event_pool_recycles_total did not move (delta %v)", d)
+	}
+	if after["sim_heap_high_water"] <= 0 {
+		t.Errorf("sim_heap_high_water = %v, want > 0", after["sim_heap_high_water"])
+	}
+}
+
+// TestRunCarriesPerfProvenance asserts a service-produced run records
+// how it was made: wall time, cell count and throughput.
+func TestRunCarriesPerfProvenance(t *testing.T) {
+	_, hs := newTestServer(t)
+	_, raw := submitAndWait(t, hs, "/v1/runs?quick=1", testSpec)
+	run := decodeRun(t, raw)
+	p := run.Meta.Perf
+	if p == nil {
+		t.Fatal("stored run has no perf provenance")
+	}
+	if p.Cells != 2 || p.WallMS <= 0 || p.CellsPerSec <= 0 || p.Host == "" {
+		t.Errorf("perf = %+v, want 2 cells with positive wall time and throughput", p)
+	}
+}
+
+// slowSpec simulates long enough that the queue can be observed full.
+const slowSpec = `{
+  "name": "servetest-slow",
+  "title": "Scenario servetest-slow — queue backpressure",
+  "warmup_cycles": 50000,
+  "duration_cycles": 1500000000,
+  "locks": [{"name": "hot", "topology": "single"}],
+  "groups": [
+    {"name": "worker", "threads": 0, "outside_cycles": 400,
+     "ops": [{"lock": "hot"}]}
+  ],
+  "sweep": {
+    "threads": [2],
+    "cs": [800],
+    "locks": ["MUTEX"]
+  }
+}`
+
+// TestBusyQueueRetryAfter fills a Pool=1/QueueDepth=1 server — one run
+// simulating, one queued — and expects the next distinct submission to
+// answer 503 with a Retry-After hint.
+func TestBusyQueueRetryAfter(t *testing.T) {
+	srv, err := serve.New(serve.Config{CacheDir: t.TempDir(), Pool: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+
+	code, b := post(t, hs, "/v1/runs?quick=1", slowSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("first POST: status %d, body %s", code, b)
+	}
+	var sub struct {
+		Key string `json:"key"`
+	}
+	if err := json.Unmarshal(b, &sub); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the worker picked the first job up, so the next
+	// submission occupies the queue rather than the worker.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, rb := get(t, hs, "/v1/runs/"+sub.Key)
+		if code != http.StatusAccepted {
+			t.Fatalf("slow run landed early (status %d, body %s) — make slowSpec slower", code, rb)
+		}
+		var ev struct {
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(rb, &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Status == "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first submission never started running")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if code, b := post(t, hs, "/v1/runs?quick=1&seed=2", slowSpec); code != http.StatusAccepted {
+		t.Fatalf("queue-filling POST: status %d, body %s", code, b)
+	}
+	resp, err := http.Post(hs.URL+"/v1/runs?quick=1&seed=3", "application/json", strings.NewReader(slowSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	rb, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity POST: status %d, body %s, want 503", resp.StatusCode, rb)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("503 rejection carries no Retry-After header")
+	}
+	vals := promSamples(t, hs)
+	if vals["submissions_rejected_total"] < 1 {
+		t.Errorf("submissions_rejected_total = %v, want >= 1", vals["submissions_rejected_total"])
+	}
 }

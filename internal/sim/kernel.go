@@ -116,6 +116,14 @@ type Kernel struct {
 	// re-raised on the kernel goroutine so panics inside event callbacks
 	// propagate out of Run regardless of which goroutine ran them.
 	trap any
+
+	// nrecycled/ncompact/hiwater are kernel-local instrumentation
+	// counters, deliberately plain (not atomic): the hot loop bumps
+	// them for free and flushStats folds them into the process-wide
+	// telemetry totals at Run exit (see stats.go).
+	nrecycled uint64
+	ncompact  uint64
+	hiwater   int
 }
 
 // NewKernel returns a kernel with its clock at zero and the RNG seeded
@@ -162,6 +170,7 @@ func (k *Kernel) recycle(e *event) {
 	e.a, e.b = 0, 0
 	e.cancelled = false
 	k.free = append(k.free, e)
+	k.nrecycled++
 }
 
 // Schedule registers fn to run at now+d and returns a handle that can be
@@ -228,6 +237,7 @@ func (k *Kernel) compact() {
 	}
 	k.heap = h
 	k.ncancel = 0
+	k.ncompact++
 	for i := (len(h) - 2) / 4; i >= 0; i-- {
 		k.siftDown(i)
 	}
@@ -243,6 +253,9 @@ func (k *Kernel) Stop() { k.stopped = true }
 // push inserts e into the 4-ary heap (sift-up).
 func (k *Kernel) push(e *event) {
 	k.heap = append(k.heap, e)
+	if len(k.heap) > k.hiwater {
+		k.hiwater = len(k.heap)
+	}
 	h := k.heap
 	i := len(h) - 1
 	for i > 0 {
@@ -494,6 +507,7 @@ func (k *Kernel) Run(until Cycles) Cycles {
 	if until != 0 && k.now < until && len(k.heap) == 0 {
 		k.now = until
 	}
+	k.flushStats()
 	return k.now
 }
 

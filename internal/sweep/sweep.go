@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Options tunes a sweep run. The engine itself consumes Workers, Seed
@@ -44,10 +46,58 @@ type Options struct {
 	// run. ShardCount ≤ 1 runs everything.
 	ShardIndex int
 	ShardCount int
+	// OnlyCell, when > 0, restricts the sweep to the single 1-based
+	// cell index OnlyCell (the index reported by run queries), taking
+	// precedence over ShardIndex/ShardCount. The cell keeps its
+	// index-derived seed, so its result is byte-identical to the same
+	// cell of a full run. An index beyond the grid runs nothing. This
+	// is the trace-mode hook: simulate exactly one cell, instrumented.
+	OnlyCell int
 	// Progress, when non-nil, is called from the collecting goroutine
 	// after each cell finishes, with the number of finished cells and
 	// the count of cells in this shard.
 	Progress func(done, total int)
+	// Stats, when non-nil, accumulates per-run engine counters (cells
+	// completed, worker busy time) across every grid swept with these
+	// Options. Safe for concurrent cells; see Stats.
+	Stats *Stats
+}
+
+// Stats accumulates sweep-engine activity for one logical run (an
+// experiment set, a service job). Counters are atomic: cells complete
+// on worker goroutines. Process-wide totals are kept separately
+// (TotalCells, TotalBusySeconds) for scrape surfaces.
+type Stats struct {
+	cells     atomic.Uint64
+	busyNanos atomic.Int64
+}
+
+// Cells returns how many grid cells completed under this Stats.
+func (s *Stats) Cells() uint64 { return s.cells.Load() }
+
+// Busy returns the summed wall-clock time workers spent inside cell
+// functions — across all workers, so Busy can exceed elapsed time.
+func (s *Stats) Busy() time.Duration { return time.Duration(s.busyNanos.Load()) }
+
+func (s *Stats) record(d time.Duration) {
+	s.cells.Add(1)
+	s.busyNanos.Add(int64(d))
+}
+
+// Process-wide engine totals, aggregated across every sweep since
+// process start regardless of whether the caller supplied a Stats.
+var (
+	totalCells     atomic.Uint64
+	totalBusyNanos atomic.Int64
+)
+
+// TotalCells returns the process-wide completed-cell count.
+func TotalCells() uint64 { return totalCells.Load() }
+
+// TotalBusySeconds returns the process-wide worker busy time, in
+// seconds.
+func TotalBusySeconds() float64 {
+	return time.Duration(totalBusyNanos.Load()).Seconds()
 }
 
 // DefaultOptions returns quick settings with a fixed seed and one
@@ -99,6 +149,12 @@ func CellSeed(seed int64, index int) int64 {
 // 0..ShardCount-1 yields the cells 0..n-1 in order, which is what lets
 // results.Merge reassemble sharded runs byte-identically.
 func (o Options) ShardRange(n int) (lo, hi int) {
+	if o.OnlyCell > 0 {
+		if o.OnlyCell > n {
+			return 0, 0
+		}
+		return o.OnlyCell - 1, o.OnlyCell
+	}
 	if o.ShardCount <= 1 {
 		return 0, n
 	}
@@ -152,6 +208,22 @@ func Each[T any](o Options, n int, fn func(Cell) T, emit func(i int, v T)) {
 	lo, hi := o.ShardRange(n)
 	if hi <= lo {
 		return
+	}
+	// Wrap fn with per-cell timing. time.Now costs nanoseconds against
+	// cells that simulate for milliseconds, so the engine always feeds
+	// the process-wide totals; Options.Stats additionally scopes them
+	// to this run when the caller wants a cells/sec figure.
+	inner := fn
+	fn = func(c Cell) T {
+		start := time.Now()
+		v := inner(c)
+		d := time.Since(start)
+		totalCells.Add(1)
+		totalBusyNanos.Add(int64(d))
+		if o.Stats != nil {
+			o.Stats.record(d)
+		}
+		return v
 	}
 	total := hi - lo
 	workers := o.WorkerCount()

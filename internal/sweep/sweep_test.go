@@ -333,3 +333,58 @@ func TestShardGridRows(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsCountsCellsAndBusyTime pins the engine instrumentation: a
+// run-scoped Stats sees exactly one completion per cell (serial and
+// parallel), busy time accumulates, and the process-wide totals move
+// by the same amount.
+func TestStatsCountsCellsAndBusyTime(t *testing.T) {
+	const n = 12
+	for _, workers := range []int{1, 4} {
+		var st Stats
+		before := TotalCells()
+		o := Options{Workers: workers, Seed: 42, Stats: &st}
+		Run(o, n, func(c Cell) int {
+			time.Sleep(time.Millisecond)
+			return c.Index
+		})
+		if st.Cells() != n {
+			t.Errorf("Workers=%d: Stats.Cells = %d, want %d", workers, st.Cells(), n)
+		}
+		if st.Busy() < n*time.Millisecond {
+			t.Errorf("Workers=%d: Stats.Busy = %v, want >= %v", workers, st.Busy(), n*time.Millisecond)
+		}
+		if got := TotalCells() - before; got != n {
+			t.Errorf("Workers=%d: TotalCells moved by %d, want %d", workers, got, n)
+		}
+	}
+	if TotalBusySeconds() <= 0 {
+		t.Error("TotalBusySeconds is zero after timed cells")
+	}
+}
+
+// TestOnlyCellRunsOneCellWithFullGridSeed pins the trace-mode hook:
+// OnlyCell=k runs exactly cell k-1 with the seed it would have in a
+// full run, leaves every other slot zero, and out-of-range indexes run
+// nothing.
+func TestOnlyCellRunsOneCellWithFullGridSeed(t *testing.T) {
+	const n = 10
+	o := Options{Workers: 2, Seed: 42, OnlyCell: 4}
+	seeds := Run(o, n, func(c Cell) int64 { return c.Seed })
+	for i, s := range seeds {
+		switch {
+		case i == 3 && s != CellSeed(42, 3):
+			t.Errorf("cell 3 seed = %d, want full-grid seed %d", s, CellSeed(42, 3))
+		case i != 3 && s != 0:
+			t.Errorf("cell %d ran under OnlyCell=4 (seed %d)", i, s)
+		}
+	}
+	if !o.InShard(3, n) || o.InShard(4, n) {
+		t.Error("InShard does not reflect the OnlyCell range")
+	}
+	ran := 0
+	Run(Options{Seed: 42, OnlyCell: n + 1}, n, func(c Cell) int { ran++; return 0 })
+	if ran != 0 {
+		t.Errorf("OnlyCell beyond the grid ran %d cells, want 0", ran)
+	}
+}

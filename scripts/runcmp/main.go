@@ -1,0 +1,61 @@
+// Command runcmp byte-compares two stored run files modulo provenance:
+// it loads both, nils Meta.Perf on each side, re-encodes through the
+// canonical encoding (results.Encode) and compares the bytes. This is
+// the determinism gate's replacement for raw cmp now that runs carry
+// wall-clock provenance — Perf legitimately differs between a full run
+// and a merged shard run of the same grid, while everything else must
+// stay byte-identical.
+//
+// Usage: runcmp A.json B.json. Exit 0 when equal, 1 with a diff
+// position when not, 2 on usage or load errors.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"lockin/internal/results"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: runcmp <a.json> <b.json>")
+		os.Exit(2)
+	}
+	a, err := encodeSansPerf(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "runcmp:", err)
+		os.Exit(2)
+	}
+	b, err := encodeSansPerf(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "runcmp:", err)
+		os.Exit(2)
+	}
+	if !bytes.Equal(a, b) {
+		fmt.Fprintf(os.Stderr, "runcmp: %s and %s differ (beyond provenance) at byte %d\n",
+			os.Args[1], os.Args[2], diffPos(a, b))
+		os.Exit(1)
+	}
+}
+
+func encodeSansPerf(path string) ([]byte, error) {
+	r, err := results.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	r.Meta.Perf = nil
+	return results.Encode(r)
+}
+
+// diffPos returns the first byte offset at which a and b differ.
+func diffPos(a, b []byte) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

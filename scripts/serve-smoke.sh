@@ -10,8 +10,16 @@
 # runs with the same results version, which the byte-identity check
 # depends on.
 #
-# Used by `make serve-smoke` and the CI serve job.
+# Along the way it asserts the observability surface: /healthz reports
+# a writable cache, and /metrics (Prometheus text format) shows the
+# cache-hit and simulation counters moving as the requests land.
+#
+# Used by `make serve-smoke` (full), `make metrics-smoke` (pass
+# "metrics" as $1 to stop after the observability assertions) and the
+# CI serve job.
 set -eu
+
+MODE="${1:-full}"
 
 PORT="${SERVE_SMOKE_PORT:-18347}"
 BASE="http://127.0.0.1:$PORT"
@@ -30,6 +38,13 @@ for i in $(seq 1 50); do
     if [ "$i" = 50 ]; then echo "server never became healthy" >&2; exit 1; fi
     sleep 0.2
 done
+
+echo "== healthz reports ready with a writable cache"
+curl -fsS "$BASE/healthz" > "$WORK/healthz.json"
+grep -q '"status": "ok"' "$WORK/healthz.json" || {
+    echo "healthz not ok:" >&2; cat "$WORK/healthz.json" >&2; exit 1; }
+grep -q '"cache_writable": true' "$WORK/healthz.json" || {
+    echo "healthz reports unwritable cache:" >&2; cat "$WORK/healthz.json" >&2; exit 1; }
 
 echo "== experiments listing"
 curl -fsS "$BASE/v1/experiments" > "$WORK/experiments.json"
@@ -62,6 +77,25 @@ curl -fsS -X POST --data-binary @internal/scenario/specs/hamsterdb.json \
 grep -q '"status": "cached"' "$WORK/bybody.json" || {
     echo "spec-body POST of the bundled scenario missed the cache:" >&2; cat "$WORK/bybody.json" >&2; exit 1; }
 grep -q "\"key\": \"$KEY\"" "$WORK/bybody.json"
+
+echo "== /metrics shows the counters moving"
+METRICS="$WORK/metrics.txt"
+curl -fsS "$BASE/metrics" > "$METRICS"
+# One simulation ran; the two repeat POSTs were cache hits.
+grep -q '^runs_simulated_total 1$' "$METRICS" || {
+    echo "runs_simulated_total != 1:" >&2; grep runs_simulated "$METRICS" >&2; exit 1; }
+awk '$1 == "cache_hits_total" { hits = $2 } END { exit !(hits >= 1) }' "$METRICS" || {
+    echo "cache_hits_total never moved:" >&2; grep cache_ "$METRICS" >&2; exit 1; }
+awk '$1 == "sweep_cells_total" { cells = $2 } END { exit !(cells >= 1) }' "$METRICS" || {
+    echo "sweep_cells_total never moved:" >&2; grep sweep_ "$METRICS" >&2; exit 1; }
+grep -q '^queue_capacity ' "$METRICS" || { echo "no queue_capacity gauge" >&2; exit 1; }
+grep -q '^# TYPE http_request_duration_seconds histogram$' "$METRICS" || {
+    echo "no request-latency histogram" >&2; exit 1; }
+
+if [ "$MODE" = "metrics" ]; then
+    echo "serve smoke (metrics): OK"
+    exit 0
+fi
 
 echo "== GET slice is byte-identical to the CLI's -load/-slice/-json"
 curl -fsS "$BASE/v1/runs/$KEY/slice?read=90" > "$WORK/http-slice.json"
