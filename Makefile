@@ -4,7 +4,7 @@
 GO      ?= go
 WORKERS ?= 0# sweep workers: 0 = all CPUs, 1 = serial
 
-.PHONY: build test race bench bench-all bench-compare lint sweep smoke results scenarios serve-smoke metrics-smoke ci
+.PHONY: build test race bench bench-all bench-compare lint sweep smoke results scenarios serve-smoke metrics-smoke fleet-smoke ci
 
 build:
 	$(GO) build ./...
@@ -127,4 +127,11 @@ serve-smoke:
 metrics-smoke:
 	sh scripts/serve-smoke.sh metrics
 
-ci: lint build test race smoke results scenarios serve-smoke bench-all bench-compare
+# The CI fleet gate: a coordinator plus two workers distribute a
+# quick experiment over HTTP, one worker is SIGKILLed mid-run and a
+# never-reporting lease forces the steal path; the merged run must
+# be byte-identical (runcmp) to a serial run.
+fleet-smoke:
+	sh scripts/fleet-smoke.sh
+
+ci: lint build test race smoke results scenarios serve-smoke fleet-smoke bench-all bench-compare

@@ -96,6 +96,16 @@ func main() {
 		runServe(os.Args[2:])
 		return
 	}
+	// `coordinate` and `work` are the fleet subcommands: distributed
+	// sweeps with work-stealing (see README "Distributed sweeps").
+	if len(os.Args) > 1 && os.Args[1] == "coordinate" {
+		runCoordinate(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "work" {
+		runWork(os.Args[2:])
+		return
+	}
 
 	var (
 		list     = flag.Bool("list", false, "list available experiments and exit")
@@ -155,9 +165,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		if *id == "all" || (*id == "" && *scenFile == "") || *mergeArg != "" || o.ShardCount > 1 ||
+		if *id == "all" || (*id == "" && *scenFile == "") || *mergeArg != "" || o.Partial() ||
 			*jsonDir != "" || *baseline != "" || q.Active() {
-			fmt.Fprintln(os.Stderr, "lockbench: -trace inspects one cell of one experiment; it excludes 'all', -merge, -shard, -json, -baseline, -slice and -project")
+			fmt.Fprintln(os.Stderr, "lockbench: -trace inspects one cell of one experiment; it excludes 'all', -merge, -shard, -cells, -json, -baseline, -slice and -project")
 			os.Exit(2)
 		}
 		runTraced(selectExperiments(*id, *scenFile, "", o)[0], o, cell)
@@ -177,16 +187,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lockbench: -experiment and -scenario are mutually exclusive")
 		os.Exit(2)
 	}
-	if *baseline != "" && o.ShardCount > 1 {
-		fmt.Fprintln(os.Stderr, "lockbench: -baseline compares full runs; merge the shards first (-merge)")
+	if *baseline != "" && o.Partial() {
+		fmt.Fprintln(os.Stderr, "lockbench: -baseline compares full runs; merge the partial runs first (-merge)")
 		os.Exit(2)
 	}
-	if q.Active() && o.ShardCount > 1 {
-		fmt.Fprintln(os.Stderr, "lockbench: -slice/-project query full runs; merge the shards first (-merge)")
+	if q.Active() && o.Partial() {
+		fmt.Fprintln(os.Stderr, "lockbench: -slice/-project query full runs; merge the partial runs first (-merge)")
 		os.Exit(2)
 	}
-	if *mergeArg != "" && o.ShardCount > 1 {
-		fmt.Fprintln(os.Stderr, "lockbench: -merge and -shard are mutually exclusive")
+	if *mergeArg != "" && o.Partial() {
+		fmt.Fprintln(os.Stderr, "lockbench: -merge and -shard/-cells are mutually exclusive")
 		os.Exit(2)
 	}
 
@@ -234,8 +244,8 @@ func main() {
 // queryStored is the -load path: answer slice/project/save/diff from a
 // stored run file without simulating.
 func queryStored(path string, o opts.Options, q opts.Query, id, scenFile, mergeArg, jsonDir, baseline string, diffGate bool) {
-	if id != "" || scenFile != "" || o.ShardCount > 0 || mergeArg != "" {
-		fmt.Fprintln(os.Stderr, "lockbench: -load queries a stored run; it excludes -experiment/-scenario/-shard/-merge")
+	if id != "" || scenFile != "" || o.ShardCount > 0 || o.RangeTotal > 0 || mergeArg != "" {
+		fmt.Fprintln(os.Stderr, "lockbench: -load queries a stored run; it excludes -experiment/-scenario/-shard/-cells/-merge")
 		os.Exit(2)
 	}
 	run, err := results.Load(path)
@@ -249,6 +259,11 @@ func queryStored(path string, o opts.Options, q opts.Query, id, scenFile, mergeA
 	if run.Meta.ShardCount > 1 && baseline != "" {
 		fmt.Fprintf(os.Stderr, "lockbench: %s is shard %d/%d; merge the shards first (-merge)\n",
 			path, run.Meta.ShardIndex, run.Meta.ShardCount)
+		os.Exit(2)
+	}
+	if run.Meta.Range != nil && baseline != "" {
+		fmt.Fprintf(os.Stderr, "lockbench: %s covers only cells %s; merge the ranges first (-merge)\n",
+			path, run.Meta.Range)
 		os.Exit(2)
 	}
 	run, err = q.Apply(run)
@@ -303,7 +318,7 @@ func selectExperiments(id, scenFile, mergeArg string, o opts.Options) []experime
 		}
 		todo = []experiments.Experiment{e}
 	}
-	if o.ShardCount > 1 || mergeArg != "" {
+	if o.Partial() || mergeArg != "" {
 		kept := todo[:0]
 		for _, e := range todo {
 			if !e.Aggregate {
@@ -325,18 +340,29 @@ func selectExperiments(id, scenFile, mergeArg string, o opts.Options) []experime
 // the (possibly sliced/projected) run, printing its tables.
 func simulate(e experiments.Experiment, o opts.Options, q opts.Query, progress bool) *results.Run {
 	eo := o.ExperimentOptions()
+	var stats sweep.Stats
+	eo.Stats = &stats
 	var report func(done, total int)
 	if progress {
 		eID := e.ID
+		workers := eo.SweepOptions().WorkerCount()
 		report = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells", eID, done, total)
 			if done == total {
-				fmt.Fprintln(os.Stderr)
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells\n", eID, done, total)
+				return
 			}
+			// ETA from the engine's busy-time counters: mean simulated
+			// cost per completed cell, spread over the worker pool. Noisy
+			// early (few samples, skewed grids) but self-correcting.
+			line := fmt.Sprintf("\r%s: %d/%d cells", eID, done, total)
+			if cells := stats.Cells(); cells > 0 {
+				perCell := stats.Busy() / time.Duration(cells)
+				eta := perCell * time.Duration(total-done) / time.Duration(workers)
+				line += fmt.Sprintf(" (eta %v)   ", eta.Round(time.Second))
+			}
+			fmt.Fprint(os.Stderr, line)
 		}
 	}
-	var stats sweep.Stats
-	eo.Stats = &stats
 	eo.Progress = report
 	start := time.Now()
 	fmt.Printf("### %s — %s\n", e.ID, e.Title)
@@ -536,6 +562,11 @@ func mergeStored(id string, dirs []string) (*results.Run, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lockbench: scan %s: %w", dir, err)
 		}
+		ranges, err := filepath.Glob(filepath.Join(dir, base+".cells*.json"))
+		if err != nil {
+			return nil, fmt.Errorf("lockbench: scan %s: %w", dir, err)
+		}
+		matches = append(matches, ranges...)
 		if len(matches) == 0 {
 			// Accept an unsharded file too, so a 1-shard "merge" works.
 			matches = []string{filepath.Join(dir, base+".json")}
@@ -549,7 +580,7 @@ func mergeStored(id string, dirs []string) (*results.Run, error) {
 			shards = append(shards, r)
 		}
 	}
-	if len(shards) == 1 && shards[0].Meta.ShardCount <= 1 {
+	if len(shards) == 1 && shards[0].Meta.ShardCount <= 1 && shards[0].Meta.Range == nil {
 		return shards[0], nil
 	}
 	return results.Merge(shards...)

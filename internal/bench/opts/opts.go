@@ -50,9 +50,18 @@ type Options struct {
 	// (0 = all CPUs, 1 = serial). Results are identical for any value.
 	Workers int
 	// ShardIndex/ShardCount run one contiguous shard of each grid
-	// (0/0 = unsharded). CLI-only; never set from a URL query.
+	// (0/0 = unsharded). CLI-only; never set from a URL query. A shard
+	// i/n is evaluated as the cell range [i, i+1) of total n.
 	ShardIndex int
 	ShardCount int
+	// RangeLo/RangeHi/RangeTotal run one contiguous cell range of each
+	// grid in generalized shard coordinates (active when RangeTotal >
+	// 0; see sweep.Options). The fleet worker executes leased chunks
+	// through these; -cells lo-hi/total exposes the same knob on the
+	// CLI. CLI-only, like -shard.
+	RangeLo    int
+	RangeHi    int
+	RangeTotal int
 	// Slice fixes axes of a multi-axis run to values, keeping one plane.
 	Slice []results.Fix
 	// Project collapses a multi-axis run onto these axes (mean
@@ -88,6 +97,7 @@ func Defaults() Options { return Options{Seed: 42, Scale: 1.0, LogLevel: "info"}
 type Flags struct {
 	opts    Options
 	shard   *string
+	cells   *string
 	slice   *string
 	project *string
 	tolCols *string
@@ -115,6 +125,7 @@ func FromRunFlags(fs *flag.FlagSet) *Flags {
 func FromFlags(fs *flag.FlagSet) *Flags {
 	f := FromRunFlags(fs)
 	f.shard = fs.String("shard", "", "run one shard of each grid, format i/n (e.g. 0/2)")
+	f.cells = fs.String("cells", "", "run one contiguous cell range of each grid, format lo-hi/total (e.g. 3-7/12; -shard i/n equals i-(i+1)/n)")
 	f.slice = fs.String("slice", "", "fix axes of a multi-axis run, comma-separated axis=value (e.g. 'read=90'); keeps only that plane's rows")
 	f.project = fs.String("project", "", "collapse a multi-axis run onto these axes, comma-separated (e.g. 'read,lock'); other axes aggregate away (mean)")
 	fs.Float64Var(&f.opts.Tol, "tol", 0, "relative per-cell tolerance for -baseline comparisons (0 = exact)")
@@ -130,6 +141,11 @@ func (f *Flags) Options() (Options, error) {
 	var err error
 	if f.shard != nil {
 		if o.ShardIndex, o.ShardCount, err = ParseShard(*f.shard); err != nil {
+			return o, err
+		}
+	}
+	if f.cells != nil {
+		if o.RangeLo, o.RangeHi, o.RangeTotal, err = ParseCells(*f.cells); err != nil {
 			return o, err
 		}
 	}
@@ -306,6 +322,13 @@ func (o *Options) NormalizeAndValidate() error {
 	if o.ShardCount < 0 || o.ShardIndex < 0 || (o.ShardCount > 0 && o.ShardIndex >= o.ShardCount) {
 		return fmt.Errorf("bad shard %d/%d: want 0 <= index < count", o.ShardIndex, o.ShardCount)
 	}
+	if o.RangeTotal < 0 || (o.RangeTotal > 0 &&
+		(o.RangeLo < 0 || o.RangeHi < o.RangeLo || o.RangeHi > o.RangeTotal)) {
+		return fmt.Errorf("bad cells %d-%d/%d: want 0 <= lo <= hi <= total", o.RangeLo, o.RangeHi, o.RangeTotal)
+	}
+	if o.RangeTotal > 0 && o.ShardCount > 1 {
+		return fmt.Errorf("-shard and -cells are two spellings of the same split; give one")
+	}
 	if _, err := telemetry.ParseLevel(o.LogLevel); err != nil {
 		return err
 	}
@@ -394,6 +417,33 @@ func ParseShard(s string) (idx, count int, err error) {
 	return idx, count, nil
 }
 
+// ParseCells parses "lo-hi/total" into a cell range in generalized
+// shard coordinates; an empty argument is no range. -shard i/n is the
+// special case i-(i+1)/n.
+func ParseCells(s string) (lo, hi, total int, err error) {
+	if s == "" {
+		return 0, 0, 0, nil
+	}
+	rng, ts, ok := strings.Cut(s, "/")
+	ls, hs, ok2 := strings.Cut(rng, "-")
+	if ok && ok2 {
+		lo, err = strconv.Atoi(ls)
+		if err == nil {
+			hi, err = strconv.Atoi(hs)
+		}
+		if err == nil {
+			total, err = strconv.Atoi(ts)
+		}
+	}
+	if !ok || !ok2 || err != nil {
+		return 0, 0, 0, fmt.Errorf("bad cells %q: want lo-hi/total (e.g. 3-7/12)", s)
+	}
+	if total < 1 || lo < 0 || hi < lo || hi > total {
+		return 0, 0, 0, fmt.Errorf("bad cells %q: want 0 <= lo <= hi <= total", s)
+	}
+	return lo, hi, total, nil
+}
+
 // Logger builds the structured logger these options ask for, writing
 // to w — the one construction every binary shares, so -log-level and
 // -log-json behave identically across lockbench, powerprof,
@@ -415,17 +465,33 @@ func (o Options) ExperimentOptions() experiments.Options {
 	return experiments.Options{
 		Seed: o.Seed, Scale: o.Scale, Quick: o.Quick, Workers: o.Workers,
 		ShardIndex: o.ShardIndex, ShardCount: o.ShardCount,
+		RangeLo: o.RangeLo, RangeHi: o.RangeHi, RangeTotal: o.RangeTotal,
 	}
 }
 
 // Meta assembles the results metadata of a run produced under these
 // options by a non-registry producer (powerprof, mutexeetune).
 func (o Options) Meta(experiment string) results.Meta {
-	return results.Meta{
+	m := results.Meta{
 		Experiment: experiment, Seed: o.Seed, Scale: o.Scale, Quick: o.Quick,
 		Workers: o.Workers, ShardIndex: o.ShardIndex, ShardCount: o.ShardCount,
 		Version: results.Version(),
 	}
+	if o.RangeTotal > 0 && !(o.RangeLo == 0 && o.RangeHi == o.RangeTotal) {
+		m.Range = &results.CellRange{Lo: o.RangeLo, Hi: o.RangeHi, Total: o.RangeTotal}
+	}
+	return m
+}
+
+// Partial reports whether these options run a strict subset of each
+// grid — a shard, or a cell range that does not cover [0,total) — so
+// the output is a partial run that must be merged (results.Merge)
+// before it can be compared or queried as a full run.
+func (o Options) Partial() bool {
+	if o.ShardCount > 1 {
+		return true
+	}
+	return o.RangeTotal > 0 && !(o.RangeLo == 0 && o.RangeHi == o.RangeTotal)
 }
 
 // RunMeta assembles the results metadata of running experiment e under

@@ -38,6 +38,17 @@ type Options struct {
 	// (results.Merge) is byte-identical to an unsharded run.
 	ShardIndex int
 	ShardCount int
+	// RangeLo/RangeHi/RangeTotal run one contiguous cell range in
+	// generalized shard coordinates (active when RangeTotal > 0; see
+	// sweep.Options). The fleet worker executes leased chunks through
+	// these; -shard i/n is the special case [i, i+1) of total n.
+	RangeLo    int
+	RangeHi    int
+	RangeTotal int
+	// Survey, when non-nil, enumerates instead of simulating: each grid
+	// reports its cell count and cost hints to Survey and returns
+	// without executing (see sweep.Options.Survey).
+	Survey func(cells int, cost func(index int) float64)
 	// Progress, when non-nil, receives per-experiment sweep progress.
 	Progress func(done, total int)
 	// OnlyCell, when > 0, simulates just that 1-based grid cell (the
@@ -74,6 +85,10 @@ func (o Options) SweepOptions() sweep.Options {
 		Quick:      o.Quick,
 		ShardIndex: o.ShardIndex,
 		ShardCount: o.ShardCount,
+		RangeLo:    o.RangeLo,
+		RangeHi:    o.RangeHi,
+		RangeTotal: o.RangeTotal,
+		Survey:     o.Survey,
 		OnlyCell:   o.OnlyCell,
 		Progress:   o.Progress,
 		Stats:      o.Stats,

@@ -86,7 +86,7 @@ func init() {
 			for _, n := range threads {
 				for _, k := range evalKinds {
 					n, k := n, k
-					g.Add(func(c sweep.Cell) []sweep.Row {
+					g.AddHinted(float64(n), func(c sweep.Cell) []sweep.Row {
 						r := workload.RunMicro(microCfg(o, c.Seed, workload.FactoryFor(k), n, 1000, 1))
 						return []sweep.Row{{n, k.String(), r.Throughput() / 1e6, r.TPP() / 1e3, r.Power().Total}}
 					})
@@ -114,7 +114,7 @@ func init() {
 			for _, n := range threads {
 				for _, cs := range css {
 					n, cs := n, cs
-					g.Add(func(c sweep.Cell) []sweep.Row {
+					g.AddHinted(float64(n), func(c sweep.Cell) []sweep.Row {
 						mu := workload.RunMicro(microCfg(o, c.Seed, workload.FactoryFor(core.KindMutex), n, cs, 1))
 						me := workload.RunMicro(microCfg(o, c.Seed, workload.FactoryFor(core.KindMutexee), n, cs, 1))
 						return []sweep.Row{{n, uint64(cs), ratio(me.Throughput(), mu.Throughput()), ratio(me.TPP(), mu.TPP())}}
@@ -181,7 +181,7 @@ func init() {
 			for _, n := range threads {
 				for _, to := range timeouts {
 					n, to := n, to
-					g.Add(func(c sweep.Cell) []sweep.Row {
+					g.AddHinted(float64(n), func(c sweep.Cell) []sweep.Row {
 						run := func(timeout sim.Cycles) workload.Result {
 							cfg := microCfg(o, c.Seed, mutexeeTimeoutFactory(timeout), n, 2000, 1)
 							cfg.Outside = 500 // tight loop: sleepers starve without timeouts

@@ -1,0 +1,615 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"lockin/internal/experiments"
+	"lockin/internal/results"
+	"lockin/internal/scenario"
+	"lockin/internal/telemetry"
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// Job is the sweep to distribute. Exactly one of Job.Experiment and
+	// Job.Scenario must be set. Required.
+	Job JobSpec
+	// Expect is the worker count the chunk schedule is sized for:
+	// chunks start near total/(2·Expect) coordinates and shrink
+	// geometrically (guided self-scheduling), so early chunks amortize
+	// lease round-trips and late chunks keep the fleet load-balanced.
+	// More workers than Expect still help — they steal the queue dry —
+	// it only shifts the chunk-size curve. Default 4.
+	Expect int
+	// MinChunk floors the chunk width in coordinates. Default 1 (the
+	// finest stealable grain).
+	MinChunk int
+	// LeaseTTL is how long a worker holds a chunk before it is
+	// presumed dead and the chunk returns to the queue. Default 2m —
+	// generous, because a false expiry only costs duplicate work, never
+	// correctness (the duplicate chunk is byte-identical and the first
+	// copy to merge wins).
+	LeaseTTL time.Duration
+	// Logger receives lease/merge lifecycle records. Nil discards.
+	Logger *slog.Logger
+	// now is the test clock hook.
+	now func() time.Time
+}
+
+// chunk is one not-yet-leased piece of the cell space.
+type chunk struct {
+	lo, hi int
+	cost   float64
+	// prevWorker names who held the chunk when its lease expired
+	// ("" = never leased) — re-leasing to someone else counts as a
+	// steal.
+	prevWorker string
+}
+
+// leaseState is one outstanding lease.
+type leaseState struct {
+	Lease
+	worker string
+	ck     chunk
+}
+
+// workerState accumulates one worker's per-fleet counters and its
+// labeled metric series (memoized: the telemetry registry panics on
+// duplicate registration).
+type workerState struct {
+	cells  uint64
+	chunks uint64
+	busy   time.Duration
+	mCells *telemetry.Counter
+	mBusy  *telemetry.Counter
+}
+
+// gridInfo is one surveyed grid: its cell count and per-cell cost
+// hints (1.0 when the grid declares none).
+type gridInfo struct {
+	cells int
+	hints []float64
+}
+
+// Coordinator owns the chunk queue, the outstanding leases and the
+// merge-on-arrival state of one distributed sweep. Create with New,
+// mount Handler, and Wait for the merged run.
+type Coordinator struct {
+	cfg   Config
+	exp   experiments.Experiment
+	total int // chunk coordinate space (the largest grid's cell count)
+	cells int // actual cells across all grids, for provenance
+	grids []gridInfo
+	start time.Time
+
+	mu       sync.Mutex
+	queue    []chunk // sorted: estimated cost descending, then lo ascending
+	leases   map[uint64]*leaseState
+	segments []*results.Run // disjoint merged ranges, sorted by Range.Lo
+	workers  map[string]*workerState
+	nextID   uint64
+	result   *results.Run
+	done     chan struct{}
+
+	reg       *telemetry.Registry
+	issued    *telemetry.Counter
+	expired   *telemetry.Counter
+	stolen    *telemetry.Counter
+	merged    *telemetry.Counter
+	discarded *telemetry.Counter
+}
+
+// New resolves the job's experiment, surveys its grids (no simulation)
+// and builds the chunk schedule.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Expect <= 0 {
+		cfg.Expect = 4
+	}
+	if cfg.MinChunk <= 0 {
+		cfg.MinChunk = 1
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 2 * time.Minute
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = telemetry.Discard()
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	e, err := resolve(cfg.Job)
+	if err != nil {
+		return nil, err
+	}
+	if e.Aggregate {
+		return nil, fmt.Errorf("fleet: %s aggregates statistics across its whole grid; partial runs cannot be merged — run it in one process", e.ID)
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		exp:     e,
+		start:   cfg.now(),
+		leases:  map[uint64]*leaseState{},
+		workers: map[string]*workerState{},
+		done:    make(chan struct{}),
+	}
+	c.survey()
+	if c.total == 0 {
+		return nil, fmt.Errorf("fleet: %s has no grid cells to distribute", e.ID)
+	}
+	c.buildChunks()
+	c.registerMetrics()
+	cfg.Logger.Info("fleet planned", "experiment", e.ID, "cells", c.cells,
+		"coordinates", c.total, "chunks", len(c.queue), "lease_ttl", cfg.LeaseTTL)
+	return c, nil
+}
+
+// resolve turns the job spec into an experiment, mirroring the CLI's
+// -experiment/-scenario split.
+func resolve(job JobSpec) (experiments.Experiment, error) {
+	switch {
+	case job.Experiment != "" && len(job.Scenario) > 0:
+		return experiments.Experiment{}, errors.New("fleet: job names an experiment and carries a scenario spec; give one")
+	case len(job.Scenario) > 0:
+		comp, err := scenario.ParseAndCompile(job.Scenario)
+		if err != nil {
+			return experiments.Experiment{}, err
+		}
+		return comp.Experiment(), nil
+	case job.Experiment != "":
+		return experiments.Find(job.Experiment)
+	}
+	return experiments.Experiment{}, errors.New("fleet: empty job: set Experiment or Scenario")
+}
+
+// survey enumerates the experiment's grids without simulating: each
+// grid reports its size and cost hints through sweep.Options.Survey
+// and returns before executing any cell.
+func (c *Coordinator) survey() {
+	eo := c.options()
+	eo.Survey = func(cells int, cost func(index int) float64) {
+		g := gridInfo{cells: cells, hints: make([]float64, cells)}
+		for i := range g.hints {
+			g.hints[i] = 1
+			if cost != nil {
+				g.hints[i] = cost(i)
+			}
+		}
+		c.grids = append(c.grids, g)
+		c.cells += cells
+		if cells > c.total {
+			c.total = cells
+		}
+	}
+	c.exp.Run(eo)
+}
+
+// options is the experiment-option base every coordinator-side
+// evaluation shares (survey now, metadata later).
+func (c *Coordinator) options() experiments.Options {
+	return experiments.Options{
+		Seed: c.cfg.Job.Seed, Scale: c.cfg.Job.Scale,
+		Quick: c.cfg.Job.Quick, Workers: c.cfg.Job.Workers,
+	}
+}
+
+// chunkCost estimates one coordinate range's simulation cost: the sum
+// of the cost hints of every grid cell the range maps onto
+// (sweep.Options.ShardRange arithmetic), across all grids.
+func (c *Coordinator) chunkCost(lo, hi int) float64 {
+	var sum float64
+	for _, g := range c.grids {
+		glo, ghi := g.cells*lo/c.total, g.cells*hi/c.total
+		for i := glo; i < ghi; i++ {
+			sum += g.hints[i]
+		}
+	}
+	return sum
+}
+
+// buildChunks cuts [0,total) into geometrically shrinking chunks and
+// orders them most-expensive-first, so the costliest work starts
+// earliest and the tail of the schedule is fine-grained enough to
+// balance whatever skew the hints missed.
+func (c *Coordinator) buildChunks() {
+	remaining := c.total
+	for remaining > 0 {
+		w := remaining / (2 * c.cfg.Expect)
+		if w < c.cfg.MinChunk {
+			w = c.cfg.MinChunk
+		}
+		if w > remaining {
+			w = remaining
+		}
+		lo := c.total - remaining
+		c.queue = append(c.queue, chunk{lo: lo, hi: lo + w, cost: c.chunkCost(lo, lo+w)})
+		remaining -= w
+	}
+	sortChunks(c.queue)
+}
+
+// sortChunks orders hand-out: estimated cost descending, index
+// ascending on ties — deterministic for a fixed grid and hint set.
+func sortChunks(cks []chunk) {
+	sort.SliceStable(cks, func(i, j int) bool {
+		if cks[i].cost != cks[j].cost {
+			return cks[i].cost > cks[j].cost
+		}
+		return cks[i].lo < cks[j].lo
+	})
+}
+
+func (c *Coordinator) registerMetrics() {
+	c.reg = telemetry.NewRegistry()
+	c.issued = c.reg.Counter("fleet_leases_issued_total", "chunk leases handed to workers")
+	c.expired = c.reg.Counter("fleet_leases_expired_total", "leases that passed their deadline and were requeued")
+	c.stolen = c.reg.Counter("fleet_leases_stolen_total", "expired chunks re-leased to a different worker")
+	c.merged = c.reg.Counter("fleet_chunks_merged_total", "chunk results merged into the run")
+	c.discarded = c.reg.Counter("fleet_chunks_discarded_total", "late duplicate chunk results dropped")
+	c.reg.GaugeFunc("fleet_chunks_queued", "chunks waiting to be leased", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.queue))
+	})
+	c.reg.GaugeFunc("fleet_leases_outstanding", "chunks currently leased out", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.leases))
+	})
+	c.reg.GaugeFunc("fleet_coordinates_covered", "cell coordinates merged so far", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.coveredLocked())
+	})
+}
+
+// workerLocked returns (creating on first sight) one worker's state.
+func (c *Coordinator) workerLocked(name string) *workerState {
+	w := c.workers[name]
+	if w == nil {
+		lbl := telemetry.Label("worker", name)
+		w = &workerState{
+			mCells: c.reg.LabeledCounter("fleet_worker_cells_total", "grid cells simulated per worker", lbl),
+			mBusy:  c.reg.LabeledCounter("fleet_worker_busy_ms_total", "sweep busy time per worker (milliseconds)", lbl),
+		}
+		c.workers[name] = w
+	}
+	return w
+}
+
+// coveredLocked sums the coordinates of the merged segments (total
+// when the run completed).
+func (c *Coordinator) coveredLocked() int {
+	if c.result != nil {
+		return c.total
+	}
+	n := 0
+	for _, s := range c.segments {
+		if r := s.Meta.Range; r != nil {
+			n += r.Hi - r.Lo
+		}
+	}
+	return n
+}
+
+// reapLocked requeues every lease whose deadline has passed — the
+// steal path. Runs on every lease request, so a fleet with at least
+// one live worker always reclaims dead workers' chunks.
+func (c *Coordinator) reapLocked(now time.Time) {
+	for id, l := range c.leases {
+		if now.Before(l.Deadline) {
+			continue
+		}
+		delete(c.leases, id)
+		ck := l.ck
+		ck.prevWorker = l.worker
+		c.queue = append(c.queue, ck)
+		c.expired.Inc()
+		c.cfg.Logger.Warn("lease expired", "lease", id, "worker", l.worker,
+			"lo", ck.lo, "hi", ck.hi)
+	}
+	sortChunks(c.queue)
+}
+
+// grant pops the best chunk for a worker, or reports wait/done.
+func (c *Coordinator) grant(worker string) leaseResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workerLocked(worker)
+	if c.result != nil {
+		return leaseResponse{Done: true}
+	}
+	c.reapLocked(c.cfg.now())
+	if len(c.queue) == 0 {
+		// Everything is leased out (or a failed merge is about to
+		// requeue): wait and retry — if a lease expires meanwhile, the
+		// retry steals it.
+		return leaseResponse{Wait: true, RetryMS: retryMS(c.cfg.LeaseTTL)}
+	}
+	ck := c.queue[0]
+	c.queue = c.queue[1:]
+	c.nextID++
+	l := &leaseState{
+		Lease: Lease{
+			ID: c.nextID, Lo: ck.lo, Hi: ck.hi, Total: c.total,
+			Deadline: c.cfg.now().Add(c.cfg.LeaseTTL),
+		},
+		worker: worker,
+		ck:     ck,
+	}
+	c.leases[l.ID] = l
+	c.issued.Inc()
+	if ck.prevWorker != "" && ck.prevWorker != worker {
+		c.stolen.Inc()
+		c.cfg.Logger.Info("chunk stolen", "lease", l.ID, "worker", worker,
+			"from", ck.prevWorker, "lo", ck.lo, "hi", ck.hi)
+	}
+	job := c.cfg.Job
+	return leaseResponse{Lease: &l.Lease, Job: &job}
+}
+
+// retryMS spaces worker polling off the lease TTL: fast enough to
+// steal promptly, slow enough not to hammer the coordinator.
+func retryMS(ttl time.Duration) int64 {
+	ms := (ttl / 8).Milliseconds()
+	if ms < 50 {
+		ms = 50
+	}
+	if ms > 1000 {
+		ms = 1000
+	}
+	return ms
+}
+
+// accept merges one posted chunk result. The lease may have expired:
+// if the chunk is back in the queue the result is accepted anyway
+// (the work is done — no point re-running it); if it was already
+// re-leased or merged, the bytes are discarded, which is safe because
+// any duplicate execution of the same range is byte-identical.
+func (c *Coordinator) accept(req resultRequest) (resultResponse, error) {
+	part, err := results.Decode(req.Run)
+	if err != nil {
+		return resultResponse{}, fmt.Errorf("fleet: undecodable chunk result: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.result != nil {
+		return resultResponse{Done: true, Discarded: true}, nil
+	}
+	lo, hi := partRange(part, c.total)
+	l, live := c.leases[req.LeaseID]
+	switch {
+	case live:
+		if l.ck.lo != lo || l.ck.hi != hi {
+			return resultResponse{}, fmt.Errorf("fleet: lease %d covers [%d,%d) but the result covers [%d,%d)",
+				req.LeaseID, l.ck.lo, l.ck.hi, lo, hi)
+		}
+		delete(c.leases, req.LeaseID)
+	case c.takeQueuedLocked(lo, hi):
+		// Expired but not yet re-run: accept the late result and drop
+		// the requeued copy.
+	default:
+		c.discarded.Inc()
+		return resultResponse{Discarded: true}, nil
+	}
+	if err := c.mergeLocked(part); err != nil {
+		// A chunk that refuses to merge (stale spec revision, wrong
+		// seed) must not poison the run: put the range back in the
+		// queue for a healthy worker and reject this one.
+		c.queue = append(c.queue, chunk{lo: lo, hi: hi, cost: c.chunkCost(lo, hi)})
+		sortChunks(c.queue)
+		return resultResponse{}, err
+	}
+	w := c.workerLocked(req.Worker)
+	cells := c.rangeCells(lo, hi)
+	w.cells += uint64(cells)
+	w.chunks++
+	w.busy += time.Duration(req.BusyMS) * time.Millisecond
+	w.mCells.Add(uint64(cells))
+	w.mBusy.Add(uint64(req.BusyMS))
+	c.merged.Inc()
+	c.cfg.Logger.Info("chunk merged", "worker", req.Worker, "lo", lo, "hi", hi,
+		"cells", cells, "covered", c.coveredLocked(), "total", c.total)
+	if c.result != nil {
+		return resultResponse{OK: true, Done: true}, nil
+	}
+	return resultResponse{OK: true}, nil
+}
+
+// partRange reads a chunk result's coordinates: its Range metadata,
+// or the whole space when the metadata says "full run" (a single
+// chunk covered everything, so the worker's Meta carries no range).
+func partRange(part *results.Run, total int) (lo, hi int) {
+	if r := part.Meta.Range; r != nil {
+		return r.Lo, r.Hi
+	}
+	return 0, total
+}
+
+// takeQueuedLocked removes the exact chunk [lo,hi) from the queue if
+// it is waiting there, reporting whether it was found.
+func (c *Coordinator) takeQueuedLocked(lo, hi int) bool {
+	for i, ck := range c.queue {
+		if ck.lo == lo && ck.hi == hi {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// rangeCells counts the actual grid cells a coordinate range maps to.
+func (c *Coordinator) rangeCells(lo, hi int) int {
+	n := 0
+	for _, g := range c.grids {
+		n += g.cells*hi/c.total - g.cells*lo/c.total
+	}
+	return n
+}
+
+// mergeLocked inserts a partial run into the disjoint segment list and
+// coalesces contiguous neighbors (results.MergeRanges); when one
+// segment covers the whole space the merge clears its Range and the
+// run is complete.
+func (c *Coordinator) mergeLocked(part *results.Run) error {
+	if part.Meta.Range == nil {
+		// One chunk covered the whole space; the part IS the run.
+		c.completeLocked(part)
+		return nil
+	}
+	c.segments = append(c.segments, part)
+	sort.Slice(c.segments, func(i, j int) bool {
+		return c.segments[i].Meta.Range.Lo < c.segments[j].Meta.Range.Lo
+	})
+	for i := 0; i+1 < len(c.segments); {
+		a, b := c.segments[i], c.segments[i+1]
+		if a.Meta.Range.Hi != b.Meta.Range.Lo {
+			i++
+			continue
+		}
+		m, err := results.MergeRanges(a, b)
+		if err != nil {
+			// Roll the offending part back out so a healthy retry can
+			// land later; the caller requeues its range.
+			c.segments = removeRun(c.segments, part)
+			return err
+		}
+		c.segments[i] = m
+		c.segments = append(c.segments[:i+1], c.segments[i+2:]...)
+		if m.Meta.Range == nil {
+			c.completeLocked(m)
+			return nil
+		}
+	}
+	return nil
+}
+
+func removeRun(runs []*results.Run, target *results.Run) []*results.Run {
+	for i, r := range runs {
+		if r == target {
+			return append(runs[:i], runs[i+1:]...)
+		}
+	}
+	return runs
+}
+
+// completeLocked records the finished run: provenance stamped the way
+// the CLI's simulate path does (Perf is excluded from comparisons and
+// cache identity, so the merged bytes still match a serial run).
+func (c *Coordinator) completeLocked(run *results.Run) {
+	run.Meta.Perf = results.NewPerf(c.cfg.now().Sub(c.start), c.cells)
+	c.result = run
+	c.segments = nil
+	close(c.done)
+	c.cfg.Logger.Info("fleet complete", "experiment", c.exp.ID, "cells", c.cells,
+		"wall", c.cfg.now().Sub(c.start).Round(time.Millisecond))
+}
+
+// Done is closed when the merged run is complete.
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Result returns the merged run once Done is closed (nil before).
+func (c *Coordinator) Result() *results.Run {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.result
+}
+
+// Status snapshots the fleet for the status endpoint.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{
+		Experiment: c.exp.ID,
+		Total:      c.total,
+		Covered:    c.coveredLocked(),
+		Queued:     len(c.queue),
+		Leased:     len(c.leases),
+		Done:       c.result != nil,
+	}
+	for _, s := range c.segments {
+		st.Segments = append(st.Segments, s.Meta.Range.String())
+	}
+	names := make([]string, 0, len(c.workers))
+	for n := range c.workers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		w := c.workers[n]
+		st.Workers = append(st.Workers, WorkerStatus{
+			Name: n, Cells: w.cells, Chunks: w.chunks, Busy: w.busy,
+		})
+	}
+	return st
+}
+
+// Handler returns the coordinator's HTTP routes.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", c.reg.Handler())
+	mux.HandleFunc("GET /fleet/v1/status", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, c.Status())
+	})
+	mux.HandleFunc("POST /fleet/v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req leaseRequest
+		if err := readJSON(r, &req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.Worker == "" {
+			http.Error(w, "fleet: lease request without a worker name", http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, http.StatusOK, c.grant(req.Worker))
+	})
+	mux.HandleFunc("POST /fleet/v1/result", func(w http.ResponseWriter, r *http.Request) {
+		var req resultRequest
+		if err := readJSON(r, &req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := c.accept(req)
+		if err != nil {
+			// 409: the chunk conflicts with the run (stale spec, wrong
+			// range) — the worker's copy is wrong, not the request shape.
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	return mux
+}
+
+// maxResultBytes bounds a posted chunk (a full quick run is tens of
+// kilobytes; 64 MiB leaves room for large -scale tables).
+const maxResultBytes = 64 << 20
+
+func readJSON(r *http.Request, v any) error {
+	b, err := io.ReadAll(io.LimitReader(r.Body, maxResultBytes))
+	if err != nil {
+		return fmt.Errorf("fleet: read body: %w", err)
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		return fmt.Errorf("fleet: decode body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(b, '\n'))
+}

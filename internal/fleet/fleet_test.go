@@ -1,0 +1,326 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"lockin/internal/bench/opts"
+	"lockin/internal/experiments"
+	"lockin/internal/results"
+)
+
+const testExperiment = "fig10"
+
+func testJob() JobSpec {
+	return JobSpec{Experiment: testExperiment, Seed: 42, Scale: 1, Quick: true, Workers: 1}
+}
+
+// serialRun produces the single-process baseline the fleet must match
+// byte for byte: the same experiment through the same option plumbing
+// the worker uses, no ranges.
+func serialRun(t *testing.T, job JobSpec) *results.Run {
+	t.Helper()
+	e, err := experiments.Find(job.Experiment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opts.Defaults()
+	o.Seed, o.Scale, o.Quick, o.Workers = job.Seed, job.Scale, job.Quick, job.Workers
+	if err := o.NormalizeAndValidate(); err != nil {
+		t.Fatal(err)
+	}
+	tables := e.Run(o.ExperimentOptions())
+	return &results.Run{Meta: o.RunMeta(e), Tables: tables}
+}
+
+// encodeSansPerf canonicalizes a run for comparison the way
+// scripts/runcmp does: Perf is provenance, not results.
+func encodeSansPerf(t *testing.T, r *results.Run) []byte {
+	t.Helper()
+	cp := *r
+	cp.Meta.Perf = nil
+	b, err := results.Encode(&cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func waitDone(t *testing.T, c *Coordinator) {
+	t.Helper()
+	select {
+	case <-c.Done():
+	case <-time.After(2 * time.Minute):
+		t.Fatal("fleet did not complete")
+	}
+}
+
+// TestFleetByteIdentity is the tentpole contract end to end: a
+// coordinator plus two workers over real HTTP produce, from leased
+// chunks merged on arrival, the exact bytes of a serial run.
+func TestFleetByteIdentity(t *testing.T) {
+	job := testJob()
+	co, err := New(Config{Job: job, Expect: 2, LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(co.Handler())
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = Work(context.Background(), WorkerConfig{
+				Addr: srv.URL, Name: fmt.Sprintf("w%d", i),
+			})
+		}(i)
+	}
+	waitDone(t, co)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("worker %d: %v", i, err)
+		}
+	}
+
+	run := co.Result()
+	if run == nil {
+		t.Fatal("Done closed but Result is nil")
+	}
+	if run.Meta.Range != nil {
+		t.Fatalf("merged run still carries range %v", run.Meta.Range)
+	}
+	if run.Meta.Perf == nil {
+		t.Fatal("merged run carries no perf provenance")
+	}
+	want := encodeSansPerf(t, serialRun(t, job))
+	got := encodeSansPerf(t, run)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fleet run differs from serial run (%d vs %d bytes)", len(got), len(want))
+	}
+
+	st := co.Status()
+	if !st.Done || st.Covered != st.Total {
+		t.Fatalf("status after completion: %+v", st)
+	}
+	cells := uint64(0)
+	for _, w := range st.Workers {
+		cells += w.Cells
+	}
+	if int(cells) != co.cells {
+		t.Fatalf("workers account for %d cells, fleet has %d", cells, co.cells)
+	}
+}
+
+// TestLeaseExpiryStealByteIdentity kills a worker mid-run, in effect:
+// worker A leases the whole space and vanishes; once the lease
+// expires, worker B steals the chunk, re-runs it, and completes the
+// run — still byte-identical. A's eventual late result is politely
+// discarded (it is a byte-identical duplicate, so dropping it is
+// safe).
+func TestLeaseExpiryStealByteIdentity(t *testing.T) {
+	job := testJob()
+	cur := time.Unix(1700000000, 0)
+	co, err := New(Config{
+		Job: job, Expect: 1, MinChunk: 1 << 30, // one chunk: the whole space
+		LeaseTTL: 10 * time.Second,
+		now:      func() time.Time { return cur },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(co.queue) != 1 {
+		t.Fatalf("want a single whole-space chunk, got %d", len(co.queue))
+	}
+
+	doomed := co.grant("doomed")
+	if doomed.Lease == nil {
+		t.Fatalf("no lease granted: %+v", doomed)
+	}
+	if doomed.Lease.Lo != 0 || doomed.Lease.Hi != co.total {
+		t.Fatalf("whole-space lease is [%d,%d), want [0,%d)", doomed.Lease.Lo, doomed.Lease.Hi, co.total)
+	}
+
+	// Before the deadline the chunk is held: a second worker waits.
+	if resp := co.grant("thief"); !resp.Wait {
+		t.Fatalf("chunk double-leased before expiry: %+v", resp)
+	}
+
+	cur = cur.Add(11 * time.Second) // past the TTL
+	stolen := co.grant("thief")
+	if stolen.Lease == nil {
+		t.Fatalf("expired chunk not re-leased: %+v", stolen)
+	}
+	if stolen.Lease.ID == doomed.Lease.ID {
+		t.Fatal("re-lease reused the expired lease ID")
+	}
+
+	// Execute the chunk once; the doomed worker's late copy is the same
+	// bytes by the determinism contract.
+	e, err := experiments.Find(job.Experiment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opts.Defaults()
+	o.Seed, o.Scale, o.Quick, o.Workers = job.Seed, job.Scale, job.Quick, job.Workers
+	o.RangeLo, o.RangeHi, o.RangeTotal = stolen.Lease.Lo, stolen.Lease.Hi, stolen.Lease.Total
+	if err := o.NormalizeAndValidate(); err != nil {
+		t.Fatal(err)
+	}
+	part := &results.Run{Meta: o.RunMeta(e), Tables: e.Run(o.ExperimentOptions())}
+	b, err := results.Encode(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The dead worker wakes up and posts against its expired,
+	// re-leased chunk: discarded, not merged, not an error.
+	late, err := co.accept(resultRequest{Worker: "doomed", LeaseID: doomed.Lease.ID, Run: b})
+	if err != nil {
+		t.Fatalf("late duplicate result rejected with an error: %v", err)
+	}
+	if !late.Discarded || late.OK {
+		t.Fatalf("late duplicate result not discarded: %+v", late)
+	}
+
+	resp, err := co.accept(resultRequest{Worker: "thief", LeaseID: stolen.Lease.ID, BusyMS: 1, Run: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Done {
+		t.Fatalf("whole-space chunk did not complete the run: %+v", resp)
+	}
+	waitDone(t, co)
+
+	want := encodeSansPerf(t, serialRun(t, job))
+	got := encodeSansPerf(t, co.Result())
+	if !bytes.Equal(got, want) {
+		t.Fatal("post-steal fleet run differs from serial run")
+	}
+
+	for _, m := range []struct {
+		name string
+		want float64
+	}{
+		{"fleet_leases_expired_total", 1},
+		{"fleet_leases_stolen_total", 1},
+		{"fleet_chunks_discarded_total", 1},
+		{"fleet_chunks_merged_total", 1},
+	} {
+		if v := scrapeMetric(t, co, m.name); v != m.want {
+			t.Errorf("%s = %v, want %v", m.name, v, m.want)
+		}
+	}
+
+	// The fleet is over: the next poll (and any further result) says so.
+	if resp := co.grant("straggler"); !resp.Done {
+		t.Fatalf("post-completion lease poll: %+v", resp)
+	}
+	if resp, err := co.accept(resultRequest{Worker: "doomed", LeaseID: 99, Run: b}); err != nil || !resp.Done || !resp.Discarded {
+		t.Fatalf("post-completion result: %+v, %v", resp, err)
+	}
+}
+
+// TestAcceptLateResultForQueuedChunk covers the other expiry race:
+// the lease expired and the chunk is back in the queue, but nobody
+// has re-leased it yet. The late result is work already done — it is
+// accepted and the queued copy dropped.
+func TestAcceptLateResultForQueuedChunk(t *testing.T) {
+	job := testJob()
+	cur := time.Unix(1700000000, 0)
+	co, err := New(Config{
+		Job: job, Expect: 1, MinChunk: 1 << 30,
+		LeaseTTL: 10 * time.Second,
+		now:      func() time.Time { return cur },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := co.grant("slow")
+	cur = cur.Add(11 * time.Second)
+	co.mu.Lock()
+	co.reapLocked(cur) // deadline passed: chunk requeued, lease gone
+	queued := len(co.queue)
+	co.mu.Unlock()
+	if queued != 1 {
+		t.Fatalf("expired chunk not requeued: %d queued", queued)
+	}
+
+	e, err := experiments.Find(job.Experiment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opts.Defaults()
+	o.Seed, o.Scale, o.Quick, o.Workers = job.Seed, job.Scale, job.Quick, job.Workers
+	if err := o.NormalizeAndValidate(); err != nil {
+		t.Fatal(err)
+	}
+	part := &results.Run{Meta: o.RunMeta(e), Tables: e.Run(o.ExperimentOptions())}
+	b, err := results.Encode(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := co.accept(resultRequest{Worker: "slow", LeaseID: l.Lease.ID, BusyMS: 1, Run: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || !resp.Done || resp.Discarded {
+		t.Fatalf("late result for a still-queued chunk: %+v", resp)
+	}
+	if st := co.Status(); st.Queued != 0 {
+		t.Fatalf("queued copy not dropped: %+v", st)
+	}
+}
+
+// TestNewRejectsBadJobs pins the job-validation errors.
+func TestNewRejectsBadJobs(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty job accepted")
+	}
+	if _, err := New(Config{Job: JobSpec{Experiment: "no-such-experiment"}}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	job := testJob()
+	job.Scenario = []byte(`{"not":"a spec"}`)
+	if _, err := New(Config{Job: job}); err == nil {
+		t.Error("job with both experiment and scenario accepted")
+	}
+}
+
+// scrapeMetric reads one un-labeled counter off the coordinator's
+// /metrics endpoint.
+func scrapeMetric(t *testing.T, co *Coordinator, name string) float64 {
+	t.Helper()
+	srv := httptest.NewServer(co.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\S+)$`)
+	m := re.FindStringSubmatch(buf.String())
+	if m == nil {
+		t.Fatalf("metric %s not exposed", name)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}

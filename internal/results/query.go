@@ -176,6 +176,10 @@ func checkSliceable(r *Run, space sweep.Space) error {
 		return fmt.Errorf("results: run of %s is shard %d/%d — merge the shards first, then query the full run",
 			r.Meta.Experiment, r.Meta.ShardIndex, r.Meta.ShardCount)
 	}
+	if r.Meta.Range != nil {
+		return fmt.Errorf("results: run of %s covers only cells %s — merge the ranges first, then query the full run",
+			r.Meta.Experiment, r.Meta.Range)
+	}
 	if space.Len() == 0 {
 		return fmt.Errorf("results: run of %s declares an axis with no values (%s) — nothing to query",
 			r.Meta.Experiment, axesDesc(r.Meta.Axes))

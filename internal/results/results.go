@@ -46,8 +46,16 @@ type Meta struct {
 	Workers int `json:"workers"`
 	// ShardIndex/ShardCount are non-zero when the run holds one shard
 	// of a grid (see sweep.Options); Merge reassembles the full run.
+	// A shard is the special case [i, i+1) of total n of the cell-range
+	// form below — Merge normalizes both onto Range coordinates.
 	ShardIndex int `json:"shard_index,omitempty"`
 	ShardCount int `json:"shard_count,omitempty"`
+	// Range is non-nil when the run holds one contiguous cell range of
+	// a grid in generalized shard coordinates (see sweep.Options
+	// RangeLo/RangeHi/RangeTotal): the partial runs a fleet worker
+	// posts back carry it, and Merge reassembles any disjoint set of
+	// ranges tiling [0, Total) into the full run.
+	Range *CellRange `json:"cell_range,omitempty"`
 	// SpecHash is the content hash of the declarative scenario spec the
 	// run was compiled from (empty for built-in experiments). Two runs
 	// with different non-empty hashes measured different workloads, so
@@ -79,6 +87,22 @@ type Meta struct {
 	// Version is the git-describable build version (see Version).
 	Version string `json:"version"`
 }
+
+// CellRange is the half-open cell interval [Lo, Hi) of Total a partial
+// run covers, in generalized shard coordinates: a grid of n cells
+// executed exactly the indexes [n·Lo/Total, n·Hi/Total). With Total
+// equal to the grid size the coordinates are literal cell indexes. A
+// shard i/n is the range [i, i+1) of total n.
+type CellRange struct {
+	Lo    int `json:"lo"`
+	Hi    int `json:"hi"`
+	Total int `json:"total"`
+}
+
+// Covers reports whether the range spans the whole grid.
+func (r CellRange) Covers() bool { return r.Lo == 0 && r.Hi == r.Total }
+
+func (r CellRange) String() string { return fmt.Sprintf("[%d,%d)/%d", r.Lo, r.Hi, r.Total) }
 
 // Perf is wall-clock provenance of one run: what it cost to produce,
 // never what it measured. Two runs with identical tables and different
@@ -128,6 +152,12 @@ func (m Meta) Filename() string {
 	name = strings.NewReplacer(":", "-", "/", "-").Replace(name)
 	if m.ShardCount > 1 {
 		name = fmt.Sprintf("%s.shard%d-of-%d", name, m.ShardIndex, m.ShardCount)
+	}
+	// A partial range run must never land on the full run's file name:
+	// saving a leased chunk into a store directory cannot silently
+	// overwrite the merged baseline it contributes to.
+	if m.Range != nil && !m.Range.Covers() {
+		name = fmt.Sprintf("%s.cells%d-%d-of-%d", name, m.Range.Lo, m.Range.Hi, m.Range.Total)
 	}
 	if m.Query != "" {
 		name += "." + sanitizeName(m.Query)
@@ -186,15 +216,25 @@ func Load(path string) (*Run, error) {
 	if err != nil {
 		return nil, fmt.Errorf("results: read %s: %w", path, err)
 	}
+	r, err := Decode(b)
+	if err != nil {
+		return nil, fmt.Errorf("results: decode %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Decode parses Encode's bytes back into a run — the wire form fleet
+// workers POST their leased chunks in.
+func Decode(b []byte) (*Run, error) {
 	var r Run
 	if err := json.Unmarshal(b, &r); err != nil {
-		return nil, fmt.Errorf("results: decode %s: %w", path, err)
+		return nil, err
 	}
 	// A JSON null in the table list decodes without error but every
 	// consumer (String, Diff, the query layer) assumes non-nil tables.
 	for i, t := range r.Tables {
 		if t == nil {
-			return nil, fmt.Errorf("results: decode %s: table %d is null", path, i)
+			return nil, fmt.Errorf("table %d is null", i)
 		}
 	}
 	return &r, nil
@@ -286,8 +326,8 @@ func ListStored(dir string) ([]Stored, error) {
 	return out, nil
 }
 
-// List returns the experiment ids with an unsharded run stored in dir,
-// sorted.
+// List returns the experiment ids with a full (unsharded, whole-range)
+// run stored in dir, sorted.
 func List(dir string) ([]string, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -296,7 +336,8 @@ func List(dir string) ([]string, error) {
 	var ids []string
 	for _, e := range ents {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.Contains(name, ".shard") {
+		if e.IsDir() || !strings.HasSuffix(name, ".json") ||
+			strings.Contains(name, ".shard") || strings.Contains(name, ".cells") {
 			continue
 		}
 		ids = append(ids, strings.TrimSuffix(name, ".json"))
@@ -335,61 +376,121 @@ func Version() string {
 	return rev
 }
 
-// Merge reassembles a full run from its shards (in any order). Shards
-// must agree on experiment, seed, scale and quick, cover every index of
-// one ShardCount exactly once, and carry the same table set (titles,
-// headers, notes). Because the sweep engine shards grids into
+// Merge reassembles a full run from its partial runs — classic -shard
+// i/n shards, cell-range runs (fleet lease chunks), or a mix of both —
+// in any order. Parts must agree on experiment, seed, scale, quick,
+// spec hash and axes, carry the same table set (titles, headers,
+// notes), and their cell ranges must tile [0, Total) exactly: no gaps,
+// no overlaps, one shared Total. Because the sweep engine executes
 // contiguous index ranges and never re-seeds the surviving cells,
-// concatenating the shards' rows in shard order reproduces the
+// concatenating the parts' rows in range order reproduces the
 // unsharded run byte-for-byte.
-func Merge(shards ...*Run) (*Run, error) {
-	if len(shards) == 0 {
-		return nil, fmt.Errorf("results: merge of zero shards")
+func Merge(parts ...*Run) (*Run, error) {
+	merged, err := MergeRanges(parts...)
+	if err != nil {
+		return nil, err
 	}
-	ordered := append([]*Run(nil), shards...)
-	sort.SliceStable(ordered, func(i, j int) bool {
-		return ordered[i].Meta.ShardIndex < ordered[j].Meta.ShardIndex
-	})
+	if r := merged.Meta.Range; r != nil {
+		return nil, fmt.Errorf("results: %s: merged parts cover only cells %s — the rest of [0,%d) is missing",
+			merged.Meta.Experiment, r, r.Total)
+	}
+	return merged, nil
+}
+
+// rangeOf normalizes a partial run's coverage onto cell-range
+// coordinates: the range form verbatim, or the shard form as its
+// [i, i+1)-of-n wrapper. A run carrying neither is not partial.
+func rangeOf(m Meta) (CellRange, error) {
+	switch {
+	case m.Range != nil:
+		cr := *m.Range
+		if cr.Total < 1 || cr.Lo < 0 || cr.Hi < cr.Lo || cr.Hi > cr.Total {
+			return cr, fmt.Errorf("results: %s: bad cell range %s", m.Experiment, cr)
+		}
+		return cr, nil
+	case m.ShardCount > 1:
+		if m.ShardIndex < 0 || m.ShardIndex >= m.ShardCount {
+			return CellRange{}, fmt.Errorf("results: %s: bad shard %d/%d", m.Experiment, m.ShardIndex, m.ShardCount)
+		}
+		return CellRange{Lo: m.ShardIndex, Hi: m.ShardIndex + 1, Total: m.ShardCount}, nil
+	default:
+		return CellRange{}, fmt.Errorf("results: %s is not a partial run (no shard or cell-range metadata)", m.Experiment)
+	}
+}
+
+// MergeRanges merges partial runs whose cell ranges are contiguous
+// into one run covering their union — the coordinator's
+// merge-on-arrival building block. The merged run's Meta.Range is the
+// combined interval (still mergeable with later arrivals); a union
+// covering the whole grid comes back with Range cleared, i.e. as the
+// full run. Merge is MergeRanges plus the full-coverage requirement.
+func MergeRanges(parts ...*Run) (*Run, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("results: merge of zero parts")
+	}
+	type part struct {
+		r  *Run
+		cr CellRange
+	}
+	ordered := make([]part, 0, len(parts))
+	for _, r := range parts {
+		cr, err := rangeOf(r.Meta)
+		if err != nil {
+			return nil, err
+		}
+		ordered = append(ordered, part{r: r, cr: cr})
+	}
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].cr.Lo < ordered[j].cr.Lo })
+
 	first := ordered[0]
-	count := first.Meta.ShardCount
-	if count != len(ordered) {
-		return nil, fmt.Errorf("results: %s: have %d shards, meta says %d",
-			first.Meta.Experiment, len(ordered), count)
-	}
-	merged := &Run{Meta: first.Meta}
+	fm := first.r.Meta
+	merged := &Run{Meta: fm}
 	merged.Meta.ShardIndex, merged.Meta.ShardCount = 0, 0
 	// Provenance is per-producing-process; a merged run was produced by
 	// several, so it carries none.
 	merged.Meta.Perf = nil
-	for i, s := range ordered {
-		m := s.Meta
-		if m.Experiment != first.Meta.Experiment || m.Seed != first.Meta.Seed ||
-			m.Scale != first.Meta.Scale || m.Quick != first.Meta.Quick {
-			return nil, fmt.Errorf("results: shard %d of %s was produced under different options",
-				m.ShardIndex, first.Meta.Experiment)
+	covered := first.cr
+	for i, p := range ordered {
+		m := p.r.Meta
+		if m.Experiment != fm.Experiment || m.Seed != fm.Seed ||
+			m.Scale != fm.Scale || m.Quick != fm.Quick {
+			return nil, fmt.Errorf("results: cells %s of %s were produced under different options than cells %s",
+				p.cr, fm.Experiment, first.cr)
 		}
-		if m.SpecHash != first.Meta.SpecHash {
-			return nil, fmt.Errorf("results: shard %d of %s ran spec revision %s, shard %d ran %s — regenerate the shards from one spec",
-				m.ShardIndex, first.Meta.Experiment, orNone(m.SpecHash), first.Meta.ShardIndex, orNone(first.Meta.SpecHash))
+		if m.SpecHash != fm.SpecHash {
+			return nil, fmt.Errorf("results: cells %s of %s ran spec revision %s, cells %s ran %s — regenerate the parts from one spec",
+				p.cr, fm.Experiment, orNone(m.SpecHash), first.cr, orNone(fm.SpecHash))
 		}
-		if !sweep.AxesEqual(m.Axes, first.Meta.Axes) {
-			return nil, fmt.Errorf("results: shard %d of %s swept different axes than shard %d — regenerate the shards from one spec",
-				m.ShardIndex, first.Meta.Experiment, first.Meta.ShardIndex)
+		if !sweep.AxesEqual(m.Axes, fm.Axes) {
+			return nil, fmt.Errorf("results: cells %s of %s swept different axes than cells %s — regenerate the parts from one spec",
+				p.cr, fm.Experiment, first.cr)
 		}
-		if m.ShardIndex != i || m.ShardCount != count {
-			return nil, fmt.Errorf("results: %s: missing or duplicate shard %d/%d (got %d/%d)",
-				first.Meta.Experiment, i, count, m.ShardIndex, m.ShardCount)
+		if p.cr.Total != covered.Total {
+			return nil, fmt.Errorf("results: %s: cells %s and %s use different range totals — regenerate the parts from one grid split",
+				fm.Experiment, first.cr, p.cr)
 		}
-		if len(s.Tables) != len(first.Tables) {
-			return nil, fmt.Errorf("results: shard %d of %s has %d tables, shard 0 has %d",
-				i, first.Meta.Experiment, len(s.Tables), len(first.Tables))
+		if i > 0 {
+			prev := ordered[i-1].cr
+			switch {
+			case p.cr.Lo < prev.Hi:
+				return nil, fmt.Errorf("results: %s: cells %s overlap cells %s",
+					fm.Experiment, p.cr, prev)
+			case p.cr.Lo > prev.Hi:
+				return nil, fmt.Errorf("results: %s: cells [%d,%d) are missing between %s and %s",
+					fm.Experiment, prev.Hi, p.cr.Lo, prev, p.cr)
+			}
+			covered.Hi = p.cr.Hi
 		}
-		for ti, tab := range s.Tables {
-			base := first.Tables[ti]
+		if len(p.r.Tables) != len(first.r.Tables) {
+			return nil, fmt.Errorf("results: cells %s of %s have %d tables, cells %s have %d",
+				p.cr, fm.Experiment, len(p.r.Tables), first.cr, len(first.r.Tables))
+		}
+		for ti, tab := range p.r.Tables {
+			base := first.r.Tables[ti]
 			if tab.Title != base.Title || !equalStrings(tab.Header, base.Header) ||
 				!equalStrings(tab.Notes, base.Notes) {
-				return nil, fmt.Errorf("results: shard %d of %s: table %q does not line up with %q",
-					i, first.Meta.Experiment, tab.Title, base.Title)
+				return nil, fmt.Errorf("results: cells %s of %s: table %q does not line up with %q",
+					p.cr, fm.Experiment, tab.Title, base.Title)
 			}
 			if i == 0 {
 				nt := metrics.NewTable(base.Title, base.Header...)
@@ -402,6 +503,11 @@ func Merge(shards ...*Run) (*Run, error) {
 				merged.Tables[ti].AddValues(row)
 			}
 		}
+	}
+	if covered.Covers() {
+		merged.Meta.Range = nil
+	} else {
+		merged.Meta.Range = &covered
 	}
 	return merged, nil
 }

@@ -517,3 +517,119 @@ func TestPerfProvenance(t *testing.T) {
 		t.Fatalf("Merge kept shard provenance %+v", merged.Meta.Perf)
 	}
 }
+
+// rangePart slices demo rows into a cell-range partial run — the form
+// fleet workers post their leased chunks in.
+func rangePart(full *Run, lo, hi, total int, rows ...int) *Run {
+	tb := metrics.NewTable(full.Tables[0].Title, full.Tables[0].Header...)
+	for _, r := range rows {
+		tb.AddValues(full.Tables[0].Cells()[r])
+	}
+	tb.AddNote("seed 42")
+	m := full.Meta
+	m.Range = &CellRange{Lo: lo, Hi: hi, Total: total}
+	return &Run{Meta: m, Tables: []*metrics.Table{tb}}
+}
+
+func TestMergeRangesTiling(t *testing.T) {
+	full := demoRun(3, 9)
+	full.Tables[0].AddRow(60, "TAS", 1.5, 4.5)
+	// Three uneven contiguous ranges tiling [0,6).
+	a := rangePart(full, 0, 2, 6, 0)
+	b := rangePart(full, 2, 5, 6, 1)
+	c := rangePart(full, 5, 6, 6, 2)
+
+	merged, err := Merge(c, a, b) // arrival order must not matter
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if merged.Meta.Range != nil || merged.Meta.ShardCount != 0 {
+		t.Fatalf("full-coverage merge kept partial metadata: %+v", merged.Meta)
+	}
+	if merged.Tables[0].String() != full.Tables[0].String() {
+		t.Fatalf("merge not byte-identical:\n%s\nvs\n%s", merged.Tables[0], full.Tables[0])
+	}
+
+	// Partial coverage keeps the combined range, still mergeable.
+	ab, err := MergeRanges(b, a)
+	if err != nil {
+		t.Fatalf("partial merge: %v", err)
+	}
+	if r := ab.Meta.Range; r == nil || r.Lo != 0 || r.Hi != 5 || r.Total != 6 {
+		t.Fatalf("combined range = %v, want [0,5)/6", ab.Meta.Range)
+	}
+	if got, err := Merge(ab, c); err != nil || got.Meta.Range != nil {
+		t.Fatalf("merge of coalesced segment failed: %v / %+v", err, got)
+	}
+}
+
+func TestMergeRangesErrors(t *testing.T) {
+	full := demoRun(3, 9)
+	full.Tables[0].AddRow(60, "TAS", 1.5, 4.5)
+	a := rangePart(full, 0, 2, 6, 0)
+	c := rangePart(full, 5, 6, 6, 2)
+
+	if _, err := MergeRanges(a, c); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("gap not refused: %v", err)
+	}
+	over := rangePart(full, 1, 3, 6, 1)
+	if _, err := MergeRanges(a, over); err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("overlap not refused: %v", err)
+	}
+	other := rangePart(full, 2, 3, 3, 1)
+	if _, err := MergeRanges(a, other); err == nil || !strings.Contains(err.Error(), "totals") {
+		t.Fatalf("mismatched totals not refused: %v", err)
+	}
+	seed7 := rangePart(full, 2, 6, 6, 1, 2)
+	seed7.Meta.Seed = 7
+	if _, err := MergeRanges(a, seed7); err == nil || !strings.Contains(err.Error(), "different options") {
+		t.Fatalf("mixed seeds not refused: %v", err)
+	}
+	spec := rangePart(full, 2, 6, 6, 1, 2)
+	spec.Meta.SpecHash = "bbbb00000000"
+	if _, err := MergeRanges(a, spec); err == nil || !strings.Contains(err.Error(), "spec revision") {
+		t.Fatalf("mixed spec revisions not refused: %v", err)
+	}
+	if _, err := MergeRanges(demoRun(1, 1)); err == nil || !strings.Contains(err.Error(), "not a partial run") {
+		t.Fatalf("non-partial run not refused: %v", err)
+	}
+	bad := rangePart(full, 4, 2, 6, 0)
+	if _, err := MergeRanges(bad); err == nil || !strings.Contains(err.Error(), "bad cell range") {
+		t.Fatalf("inverted range not refused: %v", err)
+	}
+}
+
+func TestMergeMixedShardAndRange(t *testing.T) {
+	full := demoRun(3, 9)
+	full.Tables[0].AddRow(60, "TAS", 1.5, 4.5)
+	// A shard i/n is the range [i,i+1)/n: the two spellings merge as
+	// long as they agree on the total.
+	a := rangePart(full, 0, 2, 3, 0, 1)
+	s := rangePart(full, 0, 0, 0, 2)
+	s.Meta.Range = nil
+	s.Meta.ShardIndex, s.Meta.ShardCount = 2, 3
+	merged, err := Merge(a, s)
+	if err != nil {
+		t.Fatalf("mixed shard+range merge: %v", err)
+	}
+	if merged.Tables[0].String() != full.Tables[0].String() {
+		t.Fatalf("mixed merge not byte-identical:\n%s\nvs\n%s", merged.Tables[0], full.Tables[0])
+	}
+}
+
+func TestSaveRangeFilename(t *testing.T) {
+	dir := t.TempDir()
+	r := demoRun(1, 1)
+	r.Meta.Range = &CellRange{Lo: 3, Hi: 7, Total: 12}
+	path, err := Save(dir, r)
+	if err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if want := filepath.Join(dir, "demo.cells3-7-of-12.json"); path != want {
+		t.Fatalf("range part saved to %s, want %s", path, want)
+	}
+	// Partial range files are excluded from List, like shard files.
+	if ids, _ := List(dir); len(ids) != 0 {
+		t.Fatalf("List picked up range files: %v", ids)
+	}
+}

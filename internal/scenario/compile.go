@@ -402,7 +402,9 @@ func (c *Compiled) Run(o experiments.Options) []*metrics.Table {
 	g := sweep.NewGrid(o.SweepOptions())
 	for i := 0; i < space.Len(); i++ {
 		p := ax.at(space, i)
-		g.Add(func(cell sweep.Cell) []sweep.Row {
+		// The thread count dominates a cell's simulation cost, so it is
+		// the cost hint: skewed grids dispatch their big cells first.
+		g.AddHinted(float64(c.totalThreads(p)), func(cell sweep.Cell) []sweep.Row {
 			var stats *groupStats
 			if c.Spec.perGroup() {
 				stats = &groupStats{ops: make([]uint64, len(c.Spec.Groups))}

@@ -11,8 +11,10 @@ type Row []any
 // regardless of completion order, so the rendered table is byte-equal
 // to a serial run.
 type Grid struct {
-	opts  Options
-	cells []func(Cell) []Row
+	opts   Options
+	cells  []func(Cell) []Row
+	hints  []float64
+	hinted bool
 }
 
 // NewGrid creates an empty grid executing under o.
@@ -20,7 +22,21 @@ func NewGrid(o Options) *Grid { return &Grid{opts: o} }
 
 // Add registers one cell. fn receives the cell's index and derived
 // seed and returns the table rows (zero or more) for that cell.
-func (g *Grid) Add(fn func(c Cell) []Row) { g.cells = append(g.cells, fn) }
+func (g *Grid) Add(fn func(c Cell) []Row) { g.AddHinted(0, fn) }
+
+// AddHinted registers one cell with a relative cost hint — any
+// monotone proxy for its simulation cost (thread count is the usual
+// one). Under a parallel sweep the engine dispatches more expensive
+// cells first within its reorder window, cutting the straggler tail on
+// skewed grids; the fleet coordinator prices lease chunks with the
+// same hints. Hints never change output bytes.
+func (g *Grid) AddHinted(cost float64, fn func(c Cell) []Row) {
+	g.cells = append(g.cells, fn)
+	g.hints = append(g.hints, cost)
+	if cost != 0 {
+		g.hinted = true
+	}
+}
 
 // Len returns the number of registered cells.
 func (g *Grid) Len() int { return len(g.cells) }
@@ -29,7 +45,12 @@ func (g *Grid) Len() int { return len(g.cells) }
 // in registration order, streaming each row as soon as its prefix of
 // cells has completed.
 func (g *Grid) Into(t *metrics.Table) {
-	Each(g.opts, len(g.cells), func(c Cell) []Row {
+	o := g.opts
+	if g.hinted {
+		hints := g.hints
+		o.Cost = func(i int) float64 { return hints[i] }
+	}
+	Each(o, len(g.cells), func(c Cell) []Row {
 		return g.cells[c.Index](c)
 	}, func(_ int, rows []Row) {
 		for _, r := range rows {

@@ -43,9 +43,38 @@ type Options struct {
 	// index range, see ShardRange) execute; the rest are skipped — not
 	// re-seeded — so every surviving cell keeps its index-derived seed
 	// and the union of all shards is byte-identical to an unsharded
-	// run. ShardCount ≤ 1 runs everything.
+	// run. ShardCount ≤ 1 runs everything. Sharding is the special case
+	// RangeLo=ShardIndex, RangeHi=ShardIndex+1, RangeTotal=ShardCount
+	// of the generalized cell range below.
 	ShardIndex int
 	ShardCount int
+	// RangeLo/RangeHi/RangeTotal restrict execution to one contiguous
+	// cell range in generalized shard coordinates: when RangeTotal > 0,
+	// a grid of n cells executes exactly the indexes
+	// [n·RangeLo/RangeTotal, n·RangeHi/RangeTotal). With RangeTotal
+	// equal to the grid size the coordinates are literal cell indexes;
+	// for grids of other sizes (an experiment sweeping several grids)
+	// the range scales proportionally, exactly like -shard i/n does.
+	// Disjoint contiguous ranges tiling [0, RangeTotal) therefore tile
+	// every grid's index space, which is what lets the fleet layer
+	// lease arbitrary chunks and merge them byte-identically
+	// (results.Merge). Takes precedence over ShardIndex/ShardCount.
+	RangeLo    int
+	RangeHi    int
+	RangeTotal int
+	// Cost, when non-nil, estimates the relative execution cost of cell
+	// index (any monotone proxy works — thread count, window length).
+	// A parallel sweep dispatches the most expensive undone cell inside
+	// its reorder window first, cutting the straggler tail on skewed
+	// grids. Output bytes never depend on it: emission stays in strict
+	// index order.
+	Cost func(index int) float64
+	// Survey, when non-nil, disables execution: every grid swept under
+	// these options reports its full cell count and cost-hint function
+	// (nil when the builder declared none) to Survey and returns
+	// without simulating. The fleet coordinator uses it to enumerate
+	// and price a grid in microseconds before leasing its cells out.
+	Survey func(cells int, cost func(index int) float64)
 	// OnlyCell, when > 0, restricts the sweep to the single 1-based
 	// cell index OnlyCell (the index reported by run queries), taking
 	// precedence over ShardIndex/ShardCount. The cell keeps its
@@ -78,6 +107,13 @@ func (s *Stats) Cells() uint64 { return s.cells.Load() }
 // Busy returns the summed wall-clock time workers spent inside cell
 // functions — across all workers, so Busy can exceed elapsed time.
 func (s *Stats) Busy() time.Duration { return time.Duration(s.busyNanos.Load()) }
+
+// Merge folds another Stats' counters into s — how a fleet worker
+// accumulates its per-chunk counters into a process-wide total.
+func (s *Stats) Merge(o *Stats) {
+	s.cells.Add(o.cells.Load())
+	s.busyNanos.Add(int64(o.Busy()))
+}
 
 func (s *Stats) record(d time.Duration) {
 	s.cells.Add(1)
@@ -144,10 +180,12 @@ func CellSeed(seed int64, index int) int64 {
 }
 
 // ShardRange returns the half-open cell-index interval [lo, hi) this
-// shard owns in a grid of n cells. Shards are contiguous, near-equal
-// slices of the index space: concatenating the outputs of shards
-// 0..ShardCount-1 yields the cells 0..n-1 in order, which is what lets
-// results.Merge reassemble sharded runs byte-identically.
+// shard or cell range owns in a grid of n cells. Ranges are contiguous
+// slices of the index space: the per-grid intervals of ranges that
+// tile [0, RangeTotal) concatenate to the cells 0..n-1 in order, which
+// is what lets results.Merge reassemble partial runs byte-identically.
+// The classic -shard i/n is evaluated as the range [i, i+1) of total
+// n — a thin wrapper over the same arithmetic.
 func (o Options) ShardRange(n int) (lo, hi int) {
 	if o.OnlyCell > 0 {
 		if o.OnlyCell > n {
@@ -155,17 +193,33 @@ func (o Options) ShardRange(n int) (lo, hi int) {
 		}
 		return o.OnlyCell - 1, o.OnlyCell
 	}
-	if o.ShardCount <= 1 {
-		return 0, n
+	rl, rh, total := o.RangeLo, o.RangeHi, o.RangeTotal
+	if total <= 0 {
+		if o.ShardCount <= 1 {
+			return 0, n
+		}
+		i := o.ShardIndex
+		if i < 0 {
+			i = 0
+		}
+		if i >= o.ShardCount {
+			i = o.ShardCount - 1
+		}
+		rl, rh, total = i, i+1, o.ShardCount
 	}
-	i := o.ShardIndex
-	if i < 0 {
-		i = 0
+	if rl < 0 {
+		rl = 0
 	}
-	if i >= o.ShardCount {
-		i = o.ShardCount - 1
+	if rl > total {
+		rl = total
 	}
-	return n * i / o.ShardCount, n * (i + 1) / o.ShardCount
+	if rh > total {
+		rh = total
+	}
+	if rh < rl {
+		rh = rl
+	}
+	return n * rl / total, n * rh / total
 }
 
 // InShard reports whether cell index i of an n-cell grid belongs to
@@ -199,12 +253,24 @@ func Run[T any](o Options, n int, fn func(Cell) T) []T {
 	return out
 }
 
+// inflightPerWorker bounds how far a parallel sweep runs ahead of its
+// emit cursor: at most inflightPerWorker·workers cells are dispatched
+// or held completed beyond the lowest unemitted index. The window
+// bounds peak memory at O(workers) completed-but-unemittable results
+// (instead of the whole shard, which a slow early cell used to force)
+// while leaving enough reorder slack for cost-ordered dispatch.
+const inflightPerWorker = 4
+
 // Each executes the cells of this shard (all n cells when unsharded)
 // across the worker pool, streaming results to emit in strict index
 // order as each prefix completes. emit and Progress run on the calling
 // goroutine; fn runs on worker goroutines (or inline when the pool
 // resolves to one worker).
 func Each[T any](o Options, n int, fn func(Cell) T, emit func(i int, v T)) {
+	if o.Survey != nil {
+		o.Survey(n, o.Cost)
+		return
+	}
 	lo, hi := o.ShardRange(n)
 	if hi <= lo {
 		return
@@ -241,19 +307,21 @@ func Each[T any](o Options, n int, fn func(Cell) T, emit func(i int, v T)) {
 		return
 	}
 
+	window := inflightPerWorker * workers
+	if window > total {
+		window = total
+	}
+
 	type result struct {
 		i     int
 		v     T
 		panic any
 	}
 	idx := make(chan int)
-	// out is buffered to the shard size so workers and the feeder
-	// always drain even if the collector re-panics early.
-	out := make(chan result, total)
-	// stop aborts dispatch after a cell panics, so a failure early in a
-	// long sweep doesn't simulate the remaining cells before surfacing.
-	stop := make(chan struct{})
-	var stopOnce sync.Once
+	// At most window results are in flight (dispatched or completed but
+	// unemitted), so a window-sized buffer means workers never block on
+	// the collector.
+	out := make(chan result, window)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -269,47 +337,138 @@ func Each[T any](o Options, n int, fn func(Cell) T, emit func(i int, v T)) {
 			}
 		}()
 	}
-	go func() {
-	feed:
-		for i := lo; i < hi; i++ {
-			select {
-			case idx <- i:
-			case <-stop:
-				break feed
-			}
-		}
-		close(idx)
-		wg.Wait()
-		close(out)
-	}()
 
-	pending := make(map[int]T, workers)
-	next, done := lo, 0
+	// The calling goroutine both dispatches and collects: dispatch is
+	// bounded to the window [next, next+window) ahead of the emit
+	// cursor (backpressure — peak memory stays O(workers), not O(total))
+	// and, within that window, picks the most expensive ready cell
+	// first when a Cost hint exists. Emission stays strict index order,
+	// so neither the window nor the dispatch order can change output
+	// bytes.
+	ready := newCostQueue(o.Cost)
+	pending := make(map[int]T, window)
+	next, feed := lo, lo
+	dispatched, done := 0, 0
 	var failed any
-	for r := range out {
-		if r.panic != nil && failed == nil {
-			failed = fmt.Errorf("sweep: cell %d panicked: %v", r.i, r.panic)
-			stopOnce.Do(func() { close(stop) })
-			continue
-		}
-		done++
-		if o.Progress != nil {
-			o.Progress(done, total)
-		}
-		pending[r.i] = r.v
-		for {
-			v, ok := pending[next]
-			if !ok {
-				break
-			}
-			delete(pending, next)
-			if failed == nil {
-				emit(next, v)
-			}
-			next++
+	refill := func() {
+		for feed < hi && feed < next+window {
+			ready.push(feed)
+			feed++
 		}
 	}
+	refill()
+	for done < total {
+		var send chan int
+		var cand int
+		if failed == nil && ready.len() > 0 {
+			cand = ready.peek()
+			send = idx
+		} else if dispatched == 0 {
+			// A cell panicked, dispatch stopped, and every in-flight
+			// result has drained: nothing further can arrive.
+			break
+		}
+		select {
+		case send <- cand:
+			ready.pop()
+			dispatched++
+		case r := <-out:
+			dispatched--
+			if r.panic != nil && failed == nil {
+				// Stop dispatching after the first panic, so a failure
+				// early in a long sweep doesn't simulate the remaining
+				// cells before surfacing.
+				failed = fmt.Errorf("sweep: cell %d panicked: %v", r.i, r.panic)
+				continue
+			}
+			done++
+			if o.Progress != nil {
+				o.Progress(done, total)
+			}
+			pending[r.i] = r.v
+			for {
+				v, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				if failed == nil {
+					emit(next, v)
+				}
+				next++
+			}
+			refill()
+		}
+	}
+	close(idx)
+	wg.Wait()
 	if failed != nil {
 		panic(failed)
 	}
+}
+
+// costQueue orders dispatchable cell indexes: a plain FIFO (ascending
+// index) without a cost hint, a max-heap on cost with ascending-index
+// tie-break with one — the same cell always dispatches first for a
+// fixed window content, keeping dispatch order deterministic.
+type costQueue struct {
+	cost func(int) float64
+	q    []int // FIFO when cost == nil, else heap-ordered
+}
+
+func newCostQueue(cost func(int) float64) *costQueue { return &costQueue{cost: cost} }
+
+func (c *costQueue) len() int { return len(c.q) }
+
+// before reports whether index a dispatches ahead of index b.
+func (c *costQueue) before(a, b int) bool {
+	ca, cb := c.cost(a), c.cost(b)
+	if ca != cb {
+		return ca > cb
+	}
+	return a < b
+}
+
+func (c *costQueue) push(i int) {
+	c.q = append(c.q, i)
+	if c.cost == nil {
+		return
+	}
+	for k := len(c.q) - 1; k > 0; {
+		parent := (k - 1) / 2
+		if !c.before(c.q[k], c.q[parent]) {
+			break
+		}
+		c.q[k], c.q[parent] = c.q[parent], c.q[k]
+		k = parent
+	}
+}
+
+func (c *costQueue) peek() int { return c.q[0] }
+
+func (c *costQueue) pop() int {
+	top := c.q[0]
+	if c.cost == nil {
+		c.q = c.q[1:]
+		return top
+	}
+	last := len(c.q) - 1
+	c.q[0] = c.q[last]
+	c.q = c.q[:last]
+	for k := 0; ; {
+		l, r := 2*k+1, 2*k+2
+		best := k
+		if l < len(c.q) && c.before(c.q[l], c.q[best]) {
+			best = l
+		}
+		if r < len(c.q) && c.before(c.q[r], c.q[best]) {
+			best = r
+		}
+		if best == k {
+			break
+		}
+		c.q[k], c.q[best] = c.q[best], c.q[k]
+		k = best
+	}
+	return top
 }

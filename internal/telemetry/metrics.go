@@ -184,6 +184,26 @@ func (r *Registry) GaugeFunc(name, help string, f func() float64) {
 	r.register(name, help, kindGauge, "", &series{f: f})
 }
 
+// LabeledCounter registers a counter as one labeled series of a shared
+// family name — e.g. fleet_cells_total{worker="w1"} — like Histogram
+// already allows. labels is a pre-rendered set built with Label; the
+// same (name, labels) pair registered twice panics, so callers that
+// discover label values at runtime (one series per fleet worker) must
+// memoize the returned counter per value.
+func (r *Registry) LabeledCounter(name, help, labels string) *Counter {
+	c := &Counter{}
+	r.register(name, help, kindCounter, labels, &series{c: c})
+	return c
+}
+
+// LabeledGauge registers a gauge as one labeled series of a shared
+// family name; the same memoization caveat as LabeledCounter applies.
+func (r *Registry) LabeledGauge(name, help, labels string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, kindGauge, labels, &series{g: g})
+	return g
+}
+
 // Histogram registers and returns a duration histogram with the given
 // bucket bounds (ascending; nil means DefBuckets). labels is an
 // optional pre-rendered label set built with Label — one histogram per

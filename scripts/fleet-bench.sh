@@ -1,0 +1,103 @@
+#!/bin/sh
+# fleet-bench.sh — the BENCH_9.json measurement driver.
+#
+# Two comparisons, both on per-process CPU time (user+sys), which for
+# this pure-CPU workload equals wall-clock on a dedicated core — the
+# honest basis on shared or single-core CI machines where concurrent
+# processes timeshare:
+#
+#   1. Skewed grid (testdata/skewed-scenario.json, cost rises with the
+#      outermost threads axis): static `-shard i/4` wall is the max
+#      shard CPU; the work-stealing fleet's wall is the max worker CPU
+#      across 4 `lockbench work` processes. Stealing must win >= 1.3x.
+#   2. Uniform grid (testdata/uniform-scenario.json): total CPU of
+#      coordinator + 4 single-worker processes vs one 4-worker
+#      process — the distribution overhead, which must stay ~10%.
+#
+# Both fleet runs also gate byte-identity: the merged run must be
+# runcmp-identical to the statically-sharded merge (skewed) or a
+# plain serial run (uniform).
+set -eu
+
+SCALE="${FLEET_BENCH_SCALE:-10}"
+PORT="${FLEET_BENCH_PORT:-18354}"
+BASE="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d /tmp/lockin-fleet-bench.XXXXXX)"
+trap 'rm -rf "$WORK"' EXIT
+BIN="$WORK/lockbench"
+
+# cpu <file> — seconds of user+sys from a bash `time` stderr capture.
+cpu() {
+    awk '/^user|^sys/ {split($2, a, "m"); s += a[1]*60 + a[2]} END {printf "%.2f", s}' "$1"
+}
+
+echo "== build"
+go build -o "$BIN" ./cmd/lockbench
+
+echo "== skewed grid, static -shard i/4 (sequential; wall on 4 CPUs = max shard)"
+STATIC_MAX=0
+for i in 0 1 2 3; do
+    bash -c '{ time "$1" -scenario testdata/skewed-scenario.json -scale "$2" -workers 1 -shard "$3/4" -json "$4" >/dev/null; } 2> "$5"' \
+        _ "$BIN" "$SCALE" "$i" "$WORK/shards" "$WORK/shard$i.time"
+    T=$(cpu "$WORK/shard$i.time")
+    echo "   shard $i/4: ${T}s cpu"
+    STATIC_MAX=$(awk -v a="$STATIC_MAX" -v b="$T" 'BEGIN{print (b>a)?b:a}')
+done
+"$BIN" -scenario testdata/skewed-scenario.json -scale "$SCALE" \
+    -merge "$WORK/shards" -json "$WORK/static" > /dev/null
+
+echo "== skewed grid, work-stealing fleet with 4 workers"
+"$BIN" coordinate -addr "127.0.0.1:$PORT" -scenario testdata/skewed-scenario.json \
+    -scale "$SCALE" -workers 1 -expect 4 -json "$WORK/fleet" \
+    > /dev/null 2> "$WORK/coord.log" &
+COORD_PID=$!
+for i in $(seq 1 50); do
+    if curl -fsS "$BASE/fleet/v1/status" >/dev/null 2>&1; then break; fi
+    if [ "$i" = 50 ]; then echo "coordinator never came up" >&2; cat "$WORK/coord.log" >&2; exit 1; fi
+    sleep 0.2
+done
+for w in 1 2 3 4; do
+    bash -c '{ time "$1" work -join "$2" -name "w$3" 2> "$4"; } 2> "$5"' \
+        _ "$BIN" "$BASE" "$w" "$WORK/w$w.log" "$WORK/w$w.time" &
+done
+wait
+FLEET_MAX=0
+for w in 1 2 3 4; do
+    T=$(cpu "$WORK/w$w.time")
+    echo "   worker $w: ${T}s cpu"
+    FLEET_MAX=$(awk -v a="$FLEET_MAX" -v b="$T" 'BEGIN{print (b>a)?b:a}')
+done
+go run ./scripts/runcmp "$WORK/static/scenario-skewed.json" "$WORK/fleet/scenario-skewed.json"
+SPEEDUP=$(awk -v s="$STATIC_MAX" -v f="$FLEET_MAX" 'BEGIN{printf "%.2f", s/f}')
+echo "   static max ${STATIC_MAX}s vs fleet max ${FLEET_MAX}s -> ${SPEEDUP}x"
+
+echo "== uniform grid, one process (total CPU; N workers split this evenly)"
+bash -c '{ time "$1" -scenario testdata/uniform-scenario.json -scale "$2" -workers 1 -json "$3" >/dev/null; } 2> "$4"' \
+    _ "$BIN" "$SCALE" "$WORK/one" "$WORK/one.time"
+ONE=$(cpu "$WORK/one.time")
+echo "   one process: ${ONE}s cpu"
+
+echo "== uniform grid, coordinator + 4 single-worker processes"
+bash -c '{ time "$1" coordinate -addr "127.0.0.1:$2" -scenario testdata/uniform-scenario.json -scale "$3" -workers 1 -expect 4 -json "$4" >/dev/null 2> "$5"; } 2> "$6"' \
+    _ "$BIN" "$PORT" "$SCALE" "$WORK/dfleet" "$WORK/dcoord.log" "$WORK/dcoord.time" &
+for i in $(seq 1 50); do
+    if curl -fsS "$BASE/fleet/v1/status" >/dev/null 2>&1; then break; fi
+    if [ "$i" = 50 ]; then echo "coordinator never came up" >&2; cat "$WORK/dcoord.log" >&2; exit 1; fi
+    sleep 0.2
+done
+for w in 1 2 3 4; do
+    bash -c '{ time "$1" work -join "$2" -name "dw$3" 2> "$4"; } 2> "$5"' \
+        _ "$BIN" "$BASE" "$w" "$WORK/dw$w.log" "$WORK/dw$w.time" &
+done
+wait
+DIST=$(cpu "$WORK/dcoord.time")
+for w in 1 2 3 4; do
+    DIST=$(awk -v a="$DIST" -v b="$(cpu "$WORK/dw$w.time")" 'BEGIN{printf "%.2f", a+b}')
+done
+go run ./scripts/runcmp "$WORK/one/scenario-uniform.json" "$WORK/dfleet/scenario-uniform.json"
+OVERHEAD=$(awk -v o="$ONE" -v d="$DIST" 'BEGIN{printf "%.1f", (d/o - 1) * 100}')
+echo "   one process ${ONE}s cpu vs distributed total ${DIST}s cpu -> ${OVERHEAD}% overhead"
+
+echo
+echo "fleet bench: skewed speedup ${SPEEDUP}x (want >= 1.3), uniform overhead ${OVERHEAD}% (want <= ~10)"
+awk -v s="$SPEEDUP" 'BEGIN{exit !(s >= 1.3)}' || { echo "skewed speedup below 1.3x" >&2; exit 1; }

@@ -1,0 +1,74 @@
+#!/bin/sh
+# fleet-smoke.sh — end-to-end smoke of the distributed sweep fleet.
+#
+# Builds lockbench, saves a serial baseline run, then distributes the
+# same experiment: `lockbench coordinate` leases cell-range chunks to
+# two `lockbench work` processes. Mid-run, one worker is SIGKILLed —
+# and, deterministically, a fake worker takes a lease over raw HTTP
+# and never reports, so the steal path ALWAYS exercises: the lease
+# expires, the chunk requeues, and the surviving worker re-leases it.
+# The merged run the coordinator writes must be byte-identical
+# (modulo wall-clock provenance, scripts/runcmp) to the serial run.
+#
+# Used by `make fleet-smoke` and the CI fleet job.
+set -eu
+
+PORT="${FLEET_SMOKE_PORT:-18353}"
+BASE="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d /tmp/lockin-fleet-smoke.XXXXXX)"
+trap 'kill "$COORD_PID" "$W1_PID" "$W2_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+COORD_PID=""; W1_PID=""; W2_PID=""
+
+echo "== build"
+go build -o "$WORK/lockbench" ./cmd/lockbench
+
+echo "== serial baseline (one process, -workers 1)"
+"$WORK/lockbench" -experiment fig10 -quick -scale 0.25 -workers 1 -json "$WORK/serial" > /dev/null
+
+echo "== start coordinator on :$PORT (lease TTL 3s)"
+"$WORK/lockbench" coordinate -addr "127.0.0.1:$PORT" -experiment fig10 \
+    -quick -scale 0.25 -workers 1 -expect 2 -lease-ttl 3s \
+    -json "$WORK/fleet" > "$WORK/coord.out" 2> "$WORK/coord.log" &
+COORD_PID=$!
+for i in $(seq 1 50); do
+    if curl -fsS "$BASE/fleet/v1/status" >/dev/null 2>&1; then break; fi
+    if [ "$i" = 50 ]; then echo "coordinator never came up" >&2; cat "$WORK/coord.log" >&2; exit 1; fi
+    sleep 0.2
+done
+
+echo "== a doomed worker takes a lease and never reports"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"worker":"doomed"}' "$BASE/fleet/v1/lease" > "$WORK/doomed.json"
+grep -q '"lease"' "$WORK/doomed.json" || {
+    echo "doomed worker got no lease:" >&2; cat "$WORK/doomed.json" >&2; exit 1; }
+
+echo "== join two workers, SIGKILL one mid-run"
+"$WORK/lockbench" work -join "$BASE" -name w1 2> "$WORK/w1.log" &
+W1_PID=$!
+"$WORK/lockbench" work -join "$BASE" -name w2 2> "$WORK/w2.log" &
+W2_PID=$!
+sleep 1
+kill -9 "$W2_PID" 2>/dev/null || true
+wait "$W2_PID" 2>/dev/null || true
+W2_PID=""
+
+echo "== wait for the fleet to finish"
+if ! wait "$COORD_PID"; then
+    echo "coordinator failed:" >&2; cat "$WORK/coord.log" >&2; exit 1
+fi
+COORD_PID=""
+if ! wait "$W1_PID"; then
+    echo "surviving worker failed:" >&2; cat "$WORK/w1.log" >&2; exit 1
+fi
+W1_PID=""
+
+echo "== the steal path ran"
+grep -q 'lease expired' "$WORK/coord.log" || {
+    echo "no lease ever expired:" >&2; cat "$WORK/coord.log" >&2; exit 1; }
+grep -q 'chunk stolen' "$WORK/coord.log" || {
+    echo "no chunk was stolen:" >&2; cat "$WORK/coord.log" >&2; exit 1; }
+
+echo "== merged run is byte-identical to the serial run (modulo perf provenance)"
+go run ./scripts/runcmp "$WORK/serial/fig10.json" "$WORK/fleet/fig10.json"
+
+echo "fleet smoke: OK"
