@@ -10,6 +10,7 @@ import (
 	"syscall"
 	"time"
 
+	"lockin/internal/bench/opts"
 	"lockin/internal/serve"
 	"lockin/internal/telemetry"
 )
@@ -28,37 +29,39 @@ func runServe(args []string) {
 		fmt.Fprintln(fs.Output())
 		fs.PrintDefaults()
 	}
-	var (
-		addr     = fs.String("addr", ":8347", "listen address")
-		cache    = fs.String("cache", "runs-cache", "run-cache directory: completed runs land here as <cache key>.json; identical submissions answer from it without simulating")
-		pool     = fs.Int("pool", 2, "sweeps simulated concurrently (each sweep additionally parallelizes per its workers option)")
-		queue    = fs.Int("queue", 64, "submission queue depth; a full queue answers 503 (with Retry-After) instead of buffering unboundedly")
-		logLevel = fs.String("log-level", "info", "structured-log level: debug, info, warn or error (warn silences per-request lines)")
-		logJSON  = fs.Bool("log-json", false, "emit structured logs as JSON instead of logfmt-style text")
-	)
+	f := opts.FromServeFlags(fs)
 	fs.Parse(args) // ExitOnError: a bad flag exits 2
+	o, err := f.Options()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lockbench serve: %v\n", err)
+		os.Exit(2)
+	}
 
-	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logJSON)
+	logger, err := telemetry.NewLogger(os.Stderr, o.LogLevel, o.LogJSON)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lockbench serve: %v\n", err)
 		os.Exit(2)
 	}
 	srv, err := serve.New(serve.Config{
-		CacheDir: *cache, Pool: *pool, QueueDepth: *queue, Logger: logger,
+		CacheDir: o.Cache, Pool: o.Pool, QueueDepth: o.Queue, Logger: logger,
+		CacheMaxBytes: o.CacheMaxBytes, CacheMaxRuns: o.CacheMaxRuns,
+		RateLimit: o.RateLimit, RateBurst: o.RateBurst, AuthToken: o.AuthToken,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lockbench serve: %v\n", err)
 		os.Exit(1)
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	hs := &http.Server{Addr: o.Addr, Handler: srv.Handler()}
 	// Shut down cleanly on SIGINT/SIGTERM: stop accepting requests,
 	// then drain queued and in-flight sweeps so no cache write is torn.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	logger.Info("listening", "addr", *addr, "cache", *cache, "pool", *pool)
+	logger.Info("listening", "addr", o.Addr, "cache", o.Cache, "pool", o.Pool,
+		"cache_max_bytes", o.CacheMaxBytes, "cache_max_runs", o.CacheMaxRuns,
+		"rate", o.RateLimit, "auth", o.AuthToken != "")
 
 	select {
 	case err := <-errc:

@@ -1,0 +1,113 @@
+package opts_test
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"lockin/internal/bench/opts"
+)
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  string
+	}{
+		{"", 0, ""},
+		{"0", 0, ""},
+		{"1048576", 1 << 20, ""},
+		{"1KiB", 1 << 10, ""},
+		{"512MiB", 512 << 20, ""},
+		{"2GiB", 2 << 30, ""},
+		{"2GB", 2e9, ""},
+		{"1.5kb", 1500, ""},
+		{" 64 MB ", 64e6, ""},
+		{"10b", 10, ""},
+		{"mb", 0, "bad byte size"},
+		{"12qb", 0, "bad byte size"},
+		{"-1", 0, "bad byte size"},
+		{"1e3", 0, "bad byte size"},
+	}
+	for _, c := range cases {
+		got, err := opts.ParseBytes(c.in)
+		if c.err != "" {
+			if err == nil || !strings.Contains(err.Error(), c.err) {
+				t.Errorf("ParseBytes(%q) err = %v, want containing %q", c.in, err, c.err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestServeFlags(t *testing.T) {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	f := opts.FromServeFlags(fs)
+	if err := fs.Parse([]string{
+		"-addr", ":9000", "-cache", "c", "-pool", "3", "-queue", "10",
+		"-cache-max-bytes", "1MiB", "-cache-max-runs", "5",
+		"-rate", "2.5", "-rate-burst", "4", "-auth-token", "tok",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	o, err := f.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Addr != ":9000" || o.Cache != "c" || o.Pool != 3 || o.Queue != 10 ||
+		o.CacheMaxBytes != 1<<20 || o.CacheMaxRuns != 5 ||
+		o.RateLimit != 2.5 || o.RateBurst != 4 || o.AuthToken != "tok" {
+		t.Errorf("parsed serve options = %+v", o)
+	}
+}
+
+func TestServeFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	f := opts.FromServeFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	o, err := f.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != opts.ServeDefaults() {
+		t.Errorf("flag defaults %+v != ServeDefaults %+v", o, opts.ServeDefaults())
+	}
+}
+
+func TestServeOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*opts.ServeOptions)
+		err    string
+	}{
+		{"defaults ok", func(*opts.ServeOptions) {}, ""},
+		{"empty cache", func(o *opts.ServeOptions) { o.Cache = "" }, "cache directory"},
+		{"negative max runs", func(o *opts.ServeOptions) { o.CacheMaxRuns = -1 }, "cache-max-runs"},
+		{"negative max bytes", func(o *opts.ServeOptions) { o.CacheMaxBytes = -1 }, "cache-max-bytes"},
+		{"negative rate", func(o *opts.ServeOptions) { o.RateLimit = -1 }, "bad rate"},
+		{"bad log level", func(o *opts.ServeOptions) { o.LogLevel = "loud" }, "log level"},
+	}
+	for _, c := range cases {
+		o := opts.ServeDefaults()
+		c.mutate(&o)
+		err := o.Validate()
+		if c.err == "" {
+			if err != nil {
+				t.Errorf("%s: Validate() = %v, want nil", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.err) {
+			t.Errorf("%s: Validate() = %v, want containing %q", c.name, err, c.err)
+		}
+	}
+}

@@ -42,6 +42,9 @@ type Config struct {
 	Logger *slog.Logger
 	// now is the test clock hook.
 	now func() time.Time
+	// maxBodyBytes overrides the request-body bound (test hook;
+	// 0 = the default maxResultBytes).
+	maxBodyBytes int64
 }
 
 // chunk is one not-yet-leased piece of the cell space.
@@ -105,6 +108,7 @@ type Coordinator struct {
 	stolen    *telemetry.Counter
 	merged    *telemetry.Counter
 	discarded *telemetry.Counter
+	oversized *telemetry.Counter
 }
 
 // New resolves the job's experiment, surveys its grids (no simulation)
@@ -253,6 +257,7 @@ func (c *Coordinator) registerMetrics() {
 	c.stolen = c.reg.Counter("fleet_leases_stolen_total", "expired chunks re-leased to a different worker")
 	c.merged = c.reg.Counter("fleet_chunks_merged_total", "chunk results merged into the run")
 	c.discarded = c.reg.Counter("fleet_chunks_discarded_total", "late duplicate chunk results dropped")
+	c.oversized = c.reg.Counter("fleet_oversized_bodies_total", "request bodies rejected 413 for exceeding the result-size limit")
 	c.reg.GaugeFunc("fleet_chunks_queued", "chunks waiting to be leased", func() float64 {
 		c.mu.Lock()
 		defer c.mu.Unlock()
@@ -560,8 +565,8 @@ func (c *Coordinator) Handler() http.Handler {
 	})
 	mux.HandleFunc("POST /fleet/v1/lease", func(w http.ResponseWriter, r *http.Request) {
 		var req leaseRequest
-		if err := readJSON(r, &req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		if err := readJSON(r, &req, c.maxBody()); err != nil {
+			c.rejectBody(w, "/fleet/v1/lease", err)
 			return
 		}
 		if req.Worker == "" {
@@ -572,8 +577,8 @@ func (c *Coordinator) Handler() http.Handler {
 	})
 	mux.HandleFunc("POST /fleet/v1/result", func(w http.ResponseWriter, r *http.Request) {
 		var req resultRequest
-		if err := readJSON(r, &req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		if err := readJSON(r, &req, c.maxBody()); err != nil {
+			c.rejectBody(w, "/fleet/v1/result", err)
 			return
 		}
 		resp, err := c.accept(req)
@@ -592,15 +597,49 @@ func (c *Coordinator) Handler() http.Handler {
 // kilobytes; 64 MiB leaves room for large -scale tables).
 const maxResultBytes = 64 << 20
 
-func readJSON(r *http.Request, v any) error {
-	b, err := io.ReadAll(io.LimitReader(r.Body, maxResultBytes))
+// errBodyTooLarge marks a request body that hit the size bound. It
+// must be distinguishable from a decode error: a truncated chunk
+// result that surfaced as "decode body" would make the worker look
+// buggy and burn a full lease TTL before the chunk is stolen, when the
+// real problem is the limit.
+var errBodyTooLarge = errors.New("fleet: request body exceeds the size limit")
+
+// maxBody is the request-body bound handlers read under.
+func (c *Coordinator) maxBody() int64 {
+	if c.cfg.maxBodyBytes > 0 {
+		return c.cfg.maxBodyBytes
+	}
+	return maxResultBytes
+}
+
+// readJSON decodes a request body of at most limit bytes. Reading
+// limit+1 makes hitting the bound detectable (a LimitReader alone
+// truncates silently and the loss surfaces as a baffling decode error
+// downstream).
+func readJSON(r *http.Request, v any, limit int64) error {
+	b, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
 	if err != nil {
 		return fmt.Errorf("fleet: read body: %w", err)
+	}
+	if int64(len(b)) > limit {
+		return fmt.Errorf("%w (%d bytes)", errBodyTooLarge, limit)
 	}
 	if err := json.Unmarshal(b, v); err != nil {
 		return fmt.Errorf("fleet: decode body: %w", err)
 	}
 	return nil
+}
+
+// rejectBody answers a readJSON failure: 413 with a distinct log line
+// and counter when the body hit the size bound, else a plain 400.
+func (c *Coordinator) rejectBody(w http.ResponseWriter, path string, err error) {
+	if errors.Is(err, errBodyTooLarge) {
+		c.oversized.Inc()
+		c.cfg.Logger.Error("oversized request body", "path", path, "limit", c.maxBody())
+		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusBadRequest)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

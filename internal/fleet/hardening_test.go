@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWorkerDefaultClientHasTimeout is the regression test for the
+// untimed-HTTP bug: the worker used to default to http.DefaultClient
+// (no timeout), so a hung coordinator connection wedged it forever
+// even after its lease was reaped and the chunk stolen.
+func TestWorkerDefaultClientHasTimeout(t *testing.T) {
+	w, err := newWorker(WorkerConfig{Addr: "http://127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.cfg.Client == http.DefaultClient {
+		t.Fatal("default worker client is http.DefaultClient (no timeout)")
+	}
+	if w.cfg.Client.Timeout <= 0 {
+		t.Fatal("default worker client has no timeout")
+	}
+	// The timeout must not cut off a result upload that is slower than
+	// the default lease TTL but still first to merge.
+	if ttl := 2 * time.Minute; w.cfg.Client.Timeout < ttl {
+		t.Errorf("default client timeout %v < default lease TTL %v", w.cfg.Client.Timeout, ttl)
+	}
+}
+
+// TestWorkerStuckCoordinator points a worker at a coordinator that
+// accepts connections and then never answers. The worker must give up
+// within its bounded retries instead of hanging forever.
+func TestWorkerStuckCoordinator(t *testing.T) {
+	stuck := make(chan struct{})
+	hs := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		<-stuck // hold every request open until test end
+	}))
+	defer hs.Close()
+	defer close(stuck)
+
+	errc := make(chan error, 1)
+	go func() {
+		errc <- Work(context.Background(), WorkerConfig{
+			Addr:        hs.URL,
+			Name:        "stuck-test",
+			Client:      &http.Client{Timeout: 100 * time.Millisecond},
+			joinRetries: 2,
+		})
+	}()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("Work returned nil against a never-responding coordinator")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker still wedged on a stuck coordinator after 10s")
+	}
+}
+
+// TestCoordinatorOversized413 posts a result bigger than the body
+// bound: the coordinator must answer 413 and count it — not a 400
+// decode error over silently truncated bytes, which would blame the
+// worker and burn a lease TTL.
+func TestCoordinatorOversized413(t *testing.T) {
+	c, err := New(Config{Job: testJob(), maxBodyBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(c.Handler())
+	defer hs.Close()
+
+	fat := `{"worker":"w","lease_id":1,"run":"` + strings.Repeat("x", 2<<10) + `"}`
+	resp, err := http.Post(hs.URL+"/fleet/v1/result", "application/json", strings.NewReader(fat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized result: status %d, want 413", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mb, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(mb), "fleet_oversized_bodies_total 1") {
+		t.Errorf("metrics missing fleet_oversized_bodies_total 1:\n%s", mb)
+	}
+}
+
+// TestWorkerOversizedResponse bounds the worker's read side the same
+// way: a response past the limit must surface as a distinct size error,
+// not a decode error over truncated bytes.
+func TestWorkerOversizedResponse(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"pad":"` + strings.Repeat("x", 2<<10) + `"}`))
+	}))
+	defer hs.Close()
+
+	w, err := newWorker(WorkerConfig{Addr: hs.URL, maxBodyBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp leaseResponse
+	err = w.post(context.Background(), "/fleet/v1/lease", leaseRequest{Worker: "w"}, &resp)
+	if err == nil {
+		t.Fatal("post accepted an oversized response")
+	}
+	if !strings.Contains(err.Error(), "exceeds the 1024-byte limit") {
+		t.Errorf("oversized response error = %q, want a distinct size-limit message", err)
+	}
+}

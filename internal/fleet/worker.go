@@ -28,7 +28,10 @@ type WorkerConfig struct {
 	// Default "<hostname>:<pid>".
 	Name string
 	// Client is the HTTP client leases and results travel over.
-	// Default http.DefaultClient.
+	// Default: a client with defaultWorkerTimeout — NOT
+	// http.DefaultClient, whose missing timeout would wedge the worker
+	// forever on a hung coordinator connection even after its lease was
+	// reaped and the chunk stolen.
 	Client *http.Client
 	// Logger receives chunk lifecycle records. Nil discards.
 	Logger *slog.Logger
@@ -38,7 +41,17 @@ type WorkerConfig struct {
 	// joinRetries bounds the initial connection attempts (test hook;
 	// 0 = the default 30, ~15 s at the default backoff).
 	joinRetries int
+	// maxBodyBytes overrides the response-body bound (test hook;
+	// 0 = the default maxResultBytes).
+	maxBodyBytes int64
 }
+
+// defaultWorkerTimeout caps every coordinator round-trip of the
+// default client. It must exceed the coordinator's default LeaseTTL
+// (2m): a result upload slower than the TTL should lose its lease to
+// the reaper, not be cut off by its own client while still winning the
+// merge race.
+const defaultWorkerTimeout = 5 * time.Minute
 
 // Work joins a coordinator and executes leased chunks until the
 // coordinator reports the run complete (or ctx is cancelled). Each
@@ -46,15 +59,24 @@ type WorkerConfig struct {
 // range, so the rows it produces are the exact rows a serial run
 // would produce for those cells.
 func Work(ctx context.Context, cfg WorkerConfig) error {
+	w, err := newWorker(cfg)
+	if err != nil {
+		return err
+	}
+	return w.run(ctx)
+}
+
+// newWorker validates the config and fills its defaults.
+func newWorker(cfg WorkerConfig) (*worker, error) {
 	if cfg.Addr == "" {
-		return fmt.Errorf("fleet: worker needs a coordinator address")
+		return nil, fmt.Errorf("fleet: worker needs a coordinator address")
 	}
 	if cfg.Name == "" {
 		host, _ := os.Hostname()
 		cfg.Name = fmt.Sprintf("%s:%d", host, os.Getpid())
 	}
 	if cfg.Client == nil {
-		cfg.Client = http.DefaultClient
+		cfg.Client = &http.Client{Timeout: defaultWorkerTimeout}
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = telemetry.Discard()
@@ -62,8 +84,10 @@ func Work(ctx context.Context, cfg WorkerConfig) error {
 	if cfg.joinRetries <= 0 {
 		cfg.joinRetries = 30
 	}
-	w := &worker{cfg: cfg, base: strings.TrimRight(cfg.Addr, "/")}
-	return w.run(ctx)
+	if cfg.maxBodyBytes <= 0 {
+		cfg.maxBodyBytes = maxResultBytes
+	}
+	return &worker{cfg: cfg, base: strings.TrimRight(cfg.Addr, "/")}, nil
 }
 
 type worker struct {
@@ -205,9 +229,14 @@ func (w *worker) post(ctx context.Context, path string, body, out any) error {
 		return err
 	}
 	defer resp.Body.Close()
-	rb, err := io.ReadAll(io.LimitReader(resp.Body, maxResultBytes))
+	// Read one byte past the bound so hitting it is detectable — a
+	// silently truncated response must not masquerade as a decode error.
+	rb, err := io.ReadAll(io.LimitReader(resp.Body, w.cfg.maxBodyBytes+1))
 	if err != nil {
 		return err
+	}
+	if int64(len(rb)) > w.cfg.maxBodyBytes {
+		return fmt.Errorf("fleet: %s: response exceeds the %d-byte limit", path, w.cfg.maxBodyBytes)
 	}
 	if resp.StatusCode/100 != 2 {
 		return fmt.Errorf("fleet: %s: %s: %s", path, resp.Status, strings.TrimSpace(string(rb)))

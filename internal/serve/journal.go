@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"lockin/internal/bench/opts"
+	"lockin/internal/experiments"
+	"lockin/internal/scenario"
+)
+
+// journalName is the persistent submission journal inside the cache
+// directory. The .jsonl suffix keeps it out of the run cache's *.json
+// namespace, so listings, lookups and eviction never mistake it for a
+// stored run.
+const journalName = "journal.jsonl"
+
+// journalEntry is one accepted submission, recorded durably before it
+// is queued: everything needed to reconstruct the exact run after a
+// crash — the workload (a registered experiment id, or the scenario
+// spec bytes as POSTed) and the cache-key-relevant options. Workers is
+// carried too so the replayed run's metadata matches what the original
+// submission would have stored.
+type journalEntry struct {
+	Key        string          `json:"key"`
+	Experiment string          `json:"experiment,omitempty"`
+	Spec       json.RawMessage `json:"spec,omitempty"`
+	Seed       int64           `json:"seed"`
+	Scale      float64         `json:"scale"`
+	Quick      bool            `json:"quick,omitempty"`
+	Workers    int             `json:"workers,omitempty"`
+}
+
+// entryFor builds the journal record of a submission. For spec-body
+// submissions the raw bytes are stored (the id alone would not survive
+// a restart — the spec was never registered); for by-id submissions
+// the id suffices and keeps the journal compact.
+func entryFor(key string, e experiments.Experiment, o opts.Options, spec []byte) journalEntry {
+	je := journalEntry{Key: key, Seed: o.Seed, Scale: o.Scale, Quick: o.Quick, Workers: o.Workers}
+	if len(spec) > 0 {
+		je.Spec = json.RawMessage(spec)
+	} else {
+		je.Experiment = e.ID
+	}
+	return je
+}
+
+// resolve turns a replayed entry back into the experiment and options
+// the original submission carried, through the same validation path
+// handleSubmit uses.
+func (e journalEntry) resolve() (experiments.Experiment, opts.Options, error) {
+	o := opts.Defaults()
+	o.Seed, o.Scale, o.Quick, o.Workers = e.Seed, e.Scale, e.Quick, e.Workers
+	if err := o.NormalizeAndValidate(); err != nil {
+		return experiments.Experiment{}, o, err
+	}
+	if len(e.Spec) > 0 {
+		c, err := scenario.ParseAndCompile(e.Spec)
+		if err != nil {
+			return experiments.Experiment{}, o, err
+		}
+		return c.Experiment(), o, nil
+	}
+	exp, err := experiments.Find(e.Experiment)
+	return exp, o, err
+}
+
+// journal is the persistent submission log: append-before-queue on
+// accept, drop-and-compact on land. Restarting a server replays the
+// pending entries, and because completed keys are already in the cache
+// the replay is idempotent — a run is never simulated twice for the
+// same journaled submission.
+type journal struct {
+	path string
+
+	mu      sync.Mutex
+	f       *os.File
+	pending map[string]journalEntry
+	order   []string // append order, so replay re-queues fairly
+}
+
+// openJournal opens (creating if missing) the journal of a cache
+// directory and returns the entries left pending by the previous
+// process, in append order. A torn tail line — the process died
+// mid-append — is skipped, never fatal: the client of that submission
+// never got its 202 anyway.
+func openJournal(dir string) (*journal, []journalEntry, error) {
+	j := &journal{path: filepath.Join(dir, journalName), pending: map[string]journalEntry{}}
+	b, err := os.ReadFile(j.path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, nil, err
+	}
+	var entries []journalEntry
+	for _, line := range bytes.Split(b, []byte("\n")) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil || e.Key == "" {
+			continue
+		}
+		if _, dup := j.pending[e.Key]; dup {
+			continue
+		}
+		j.pending[e.Key] = e
+		j.order = append(j.order, e.Key)
+		entries = append(entries, e)
+	}
+	f, err := os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	j.f = f
+	return j, entries, nil
+}
+
+// append records one accepted submission durably (write + sync) before
+// the caller queues it. A key already pending is a no-op: attaching to
+// an in-flight identical submission must not duplicate its entry.
+func (j *journal) append(e journalEntry) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	if _, dup := j.pending[e.Key]; dup {
+		return nil
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.pending[e.Key] = e
+	j.order = append(j.order, e.Key)
+	return nil
+}
+
+// complete drops a landed (or rejected) submission and compacts the
+// file, so the journal only ever holds work that still needs doing.
+// Journals are small — at most the queue depth of entries — so the
+// rewrite-per-completion is cheap next to the simulation that just
+// finished.
+func (j *journal) complete(key string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.pending[key]; !ok {
+		return
+	}
+	delete(j.pending, key)
+	j.compactLocked()
+}
+
+// compactLocked rewrites the journal with only the pending entries,
+// atomically (tmp + rename), then reopens the append handle onto the
+// new file. Failures are swallowed: a stale journal only risks
+// replaying already-cached keys, which replay skips.
+func (j *journal) compactLocked() {
+	if j.f == nil {
+		return
+	}
+	var buf bytes.Buffer
+	keep := j.order[:0]
+	for _, k := range j.order {
+		e, ok := j.pending[k]
+		if !ok {
+			continue
+		}
+		keep = append(keep, k)
+		b, err := json.Marshal(e)
+		if err != nil {
+			continue
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	j.order = keep
+	tmp := j.path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		return
+	}
+	f, err := os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	j.f.Close()
+	j.f = f
+}
+
+// count returns how many accepted submissions have not landed yet —
+// the journal_pending gauge.
+func (j *journal) count() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.pending)
+}
+
+// close compacts one last time and releases the file handle. Called
+// after the worker pool drained, so a clean shutdown leaves an empty
+// journal.
+func (j *journal) close() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return
+	}
+	j.compactLocked()
+	j.f.Close()
+	j.f = nil
+}

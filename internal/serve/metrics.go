@@ -34,12 +34,17 @@ var serveRoutes = []string{
 type serverMetrics struct {
 	reg *telemetry.Registry
 
-	runsServed  *telemetry.Counter
-	cacheHits   *telemetry.Counter
-	cacheMisses *telemetry.Counter
-	rejected    *telemetry.Counter
-	failed      *telemetry.Counter
-	sseSubs     *telemetry.Gauge
+	runsServed      *telemetry.Counter
+	cacheHits       *telemetry.Counter
+	cacheMisses     *telemetry.Counter
+	rejected        *telemetry.Counter
+	failed          *telemetry.Counter
+	evictions       *telemetry.Counter
+	rateLimited     *telemetry.Counter
+	unauthorized    *telemetry.Counter
+	oversized       *telemetry.Counter
+	journalReplayed *telemetry.Counter
+	sseSubs         *telemetry.Gauge
 
 	latency map[string]*telemetry.Histogram
 }
@@ -58,6 +63,16 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"submissions answered 503 by a full queue or a closing server")
 	m.failed = reg.Counter("runs_failed_total",
 		"submitted runs that failed or panicked")
+	m.evictions = reg.Counter("cache_evictions_total",
+		"run files removed by the LRU pass enforcing -cache-max-bytes/-cache-max-runs")
+	m.rateLimited = reg.Counter("requests_rate_limited_total",
+		"POSTs answered 429 by an exhausted per-client token bucket")
+	m.unauthorized = reg.Counter("requests_unauthorized_total",
+		"POSTs answered 401 for a missing or wrong bearer token (-auth-token)")
+	m.oversized = reg.Counter("submissions_oversized_total",
+		"POST bodies answered 413 for exceeding the spec size limit")
+	m.journalReplayed = reg.Counter("journal_replayed_total",
+		"journaled submissions re-queued at startup after an unclean shutdown")
 	m.sseSubs = reg.Gauge("sse_subscribers",
 		"open /v1/runs/{key}/events progress streams")
 
@@ -79,6 +94,15 @@ func newServerMetrics(s *Server) *serverMetrics {
 	reg.GaugeFunc("queue_capacity",
 		"submission queue bound (Config.QueueDepth); at depth == capacity new work answers 503",
 		func() float64 { return float64(cap(s.queue)) })
+	reg.GaugeFunc("cache_bytes",
+		"total bytes of stored runs, as of the last eviction pass",
+		func() float64 { return float64(s.cacheBytes.Load()) })
+	reg.GaugeFunc("cache_runs",
+		"stored run files, as of the last eviction pass",
+		func() float64 { return float64(s.cacheRuns.Load()) })
+	reg.GaugeFunc("journal_pending",
+		"accepted submissions journaled but not yet landed",
+		func() float64 { return float64(s.journal.count()) })
 	reg.GaugeFunc("active_jobs",
 		"submissions queued or running right now",
 		func() float64 {

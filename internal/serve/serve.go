@@ -61,6 +61,24 @@ type Config struct {
 	// one line per request (with a monotonic request id) and per run
 	// transition (with a run id). Nil discards everything.
 	Logger *slog.Logger
+	// CacheMaxBytes bounds the run cache's total size: when the stored
+	// runs exceed it, the least-recently-used files are evicted (by
+	// mtime, refreshed on every read). 0 means unbounded.
+	CacheMaxBytes int64
+	// CacheMaxRuns bounds how many runs the cache holds, with the same
+	// LRU eviction. 0 means unbounded.
+	CacheMaxRuns int
+	// RateLimit is the per-client POST budget in requests per second
+	// (token bucket, burst RateBurst). Clients are keyed by bearer
+	// token when presented, else remote IP. 0 disables limiting.
+	RateLimit float64
+	// RateBurst is the token-bucket depth per client. Values < 1 are
+	// treated as 1 when RateLimit is active.
+	RateBurst int
+	// AuthToken, when set, gates every POST route: requests must carry
+	// a matching Authorization: Bearer token or they answer 401. GET
+	// routes stay open.
+	AuthToken string
 }
 
 // Server is the benchmark service. Create with New, mount Handler, and
@@ -80,6 +98,13 @@ type Server struct {
 	reqID     atomic.Uint64
 	runID     atomic.Uint64
 	metrics   *serverMetrics
+
+	journal *journal
+	limiter *limiter
+
+	evictMu    sync.Mutex
+	cacheBytes atomic.Int64
+	cacheRuns  atomic.Int64
 }
 
 // New creates the cache directory and starts the worker pool.
@@ -107,12 +132,52 @@ func New(cfg Config) (*Server, error) {
 		jobs:  map[string]*job{},
 		start: time.Now(),
 	}
+	jrnl, pending, err := openJournal(cfg.CacheDir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: open submission journal: %w", err)
+	}
+	s.journal = jrnl
+	if cfg.RateLimit > 0 {
+		s.limiter = newLimiter(cfg.RateLimit, cfg.RateBurst)
+	}
 	s.metrics = newServerMetrics(s)
 	for i := 0; i < cfg.Pool; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	s.replay(pending)
+	s.evictPass()
 	return s, nil
+}
+
+// replay re-queues the submissions a previous process accepted but
+// never finished. Keys that landed in the cache anyway (the crash hit
+// after the atomic write, before the journal compaction) are simply
+// completed, so replay is idempotent and never re-simulates.
+func (s *Server) replay(pending []journalEntry) {
+	for _, je := range pending {
+		if s.cachedBytes(je.Key) != nil {
+			s.journal.complete(je.Key)
+			continue
+		}
+		e, o, err := je.resolve()
+		if err != nil {
+			// The entry can no longer produce the run it promised (an
+			// experiment id removed across versions, say); dropping it
+			// beats replaying the same failure on every restart.
+			s.log.Warn("journal entry unresolvable, dropping", "key", je.Key, "err", err)
+			s.journal.complete(je.Key)
+			continue
+		}
+		if _, _, err := s.enqueue(je.Key, e, o); err != nil {
+			// Queue full: leave the entry pending; the next restart
+			// tries again.
+			s.log.Warn("journal replay could not enqueue", "key", je.Key, "err", err)
+			continue
+		}
+		s.metrics.journalReplayed.Inc()
+		s.log.Info("journal replayed", "key", je.Key, "experiment", e.ID)
+	}
 }
 
 // Close stops accepting submissions and waits for queued and running
@@ -125,6 +190,10 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	// The pool has drained: every journaled submission either landed
+	// (completed below during runJob) or failed (completed too). The
+	// final compact leaves a clean-shutdown journal empty.
+	s.journal.close()
 }
 
 // Simulated returns how many sweeps this server actually simulated —
@@ -147,6 +216,10 @@ func (s *Server) worker() {
 func (s *Server) runJob(j *job) {
 	rid := s.runID.Add(1)
 	log := s.log.With("run", rid, "key", j.key)
+	// The submission leaves the journal whatever happens next — landed,
+	// failed or panicked. Only a crash of the whole process keeps the
+	// entry, and that is exactly the case replay exists for.
+	defer s.journal.complete(j.key)
 	defer func() {
 		if p := recover(); p != nil {
 			j.fail(fmt.Sprintf("simulation panicked: %v", p))
@@ -183,6 +256,7 @@ func (s *Server) runJob(j *job) {
 	s.mu.Lock()
 	delete(s.jobs, j.key)
 	s.mu.Unlock()
+	s.evictPass()
 	log.Info("run done", "dur", wall.Round(time.Millisecond),
 		"cells", stats.Cells(), "cells_per_sec", run.Meta.Perf.CellsPerSec)
 }
@@ -199,12 +273,17 @@ func writeAtomic(path string, b []byte) error {
 	return os.Rename(tmp, path)
 }
 
-// cachedBytes returns the stored run bytes of a key, or nil.
+// cachedBytes returns the stored run bytes of a key, or nil. A hit
+// refreshes the file's mtime — the recency signal the LRU eviction
+// pass orders by — so runs still being read stay in a bounded cache.
 func (s *Server) cachedBytes(key string) []byte {
-	b, err := os.ReadFile(s.cachePath(key))
+	path := s.cachePath(key)
+	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil
 	}
+	now := time.Now()
+	os.Chtimes(path, now, now)
 	return b
 }
 
@@ -249,7 +328,7 @@ func (s *Server) Handler() http.Handler {
 	for route, h := range map[string]http.HandlerFunc{
 		"GET /healthz":               s.handleHealthz,
 		"GET /v1/experiments":        s.handleExperiments,
-		"POST /v1/runs":              s.handleSubmit,
+		"POST /v1/runs":              s.guardPOST(s.handleSubmit),
 		"GET /v1/runs":               s.handleList,
 		"GET /v1/runs/{key}":         s.handleGet,
 		"GET /v1/runs/{key}/slice":   s.handleSlice,
@@ -332,6 +411,10 @@ func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
 }
 
+// maxSpecBytes bounds a POSTed scenario spec. Real specs are a few KiB
+// of JSON; a body past this answers 413.
+const maxSpecBytes = 1 << 20
+
 // submitResponse answers POST /v1/runs.
 type submitResponse struct {
 	Key        string `json:"key"`
@@ -348,8 +431,18 @@ type submitResponse struct {
 // re-simulates; an in-flight identical submission attaches to the
 // existing job.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	// MaxBytesReader errors distinctly at the limit instead of silently
+	// truncating: an oversized spec answers 413 naming the bound, not a
+	// baffling JSON parse 400 over the first maxSpecBytes of it.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.metrics.oversized.Inc()
+			http.Error(w, fmt.Sprintf("scenario spec exceeds the %d-byte limit", maxSpecBytes),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -401,8 +494,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
+	// Journal before queue: once the entry is durable, a crash between
+	// the 202 and the run landing cannot lose the submission — the next
+	// start replays it.
+	if err := s.journal.append(entryFor(key, e, o, body)); err != nil {
+		http.Error(w, "journal write failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
 	j, attached, err := s.enqueue(key, e, o)
 	if err != nil {
+		// The submission was refused, so its journal entry must not
+		// survive to be replayed as if it had been accepted.
+		s.journal.complete(key)
 		s.metrics.rejected.Inc()
 		if errors.Is(err, errBusy) {
 			// The queue drains as running sweeps finish; hint the

@@ -14,6 +14,13 @@
 # a writable cache, and /metrics (Prometheus text format) shows the
 # cache-hit and simulation counters moving as the requests land.
 #
+# The full mode then asserts the hardening layer: oversized bodies
+# answer 413, a server SIGKILLed with queued submissions replays its
+# journal on restart (completed runs byte-identical to direct CLI runs,
+# modulo provenance, via scripts/runcmp), the startup eviction pass
+# enforces -cache-max-runs, and -auth-token/-rate answer 401 and 429
+# (with Retry-After) once the budget is spent.
+#
 # Used by `make serve-smoke` (full), `make metrics-smoke` (pass
 # "metrics" as $1 to stop after the observability assertions) and the
 # CI serve job.
@@ -117,5 +124,102 @@ CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/runs?experiment=
 [ "$CODE" = 400 ] || { echo "bad scale answered $CODE, want 400" >&2; exit 1; }
 CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/runs?experiment=scenario:hamsterdb&bogus=1")
 [ "$CODE" = 400 ] || { echo "unknown parameter answered $CODE, want 400" >&2; exit 1; }
+
+echo "== oversized spec body answers 413, not a parse 400"
+head -c 1200000 /dev/zero | tr '\0' 'x' > "$WORK/fat.json"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST --data-binary @"$WORK/fat.json" "$BASE/v1/runs")
+[ "$CODE" = 413 ] || { echo "oversized body answered $CODE, want 413" >&2; exit 1; }
+
+kill "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+
+echo "== kill -9 with queued submissions; the restart replays the journal"
+CACHE2="$WORK/cache2"
+# Pool 1 so the slow first submission blocks the queue: the two cheap
+# ones behind it are journaled but guaranteed not yet simulated when
+# the SIGKILL lands.
+"$WORK/lockbench" serve -addr "127.0.0.1:$PORT" -cache "$CACHE2" -pool 1 &
+SERVER_PID=$!
+for i in $(seq 1 50); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    if [ "$i" = 50 ]; then echo "server (journal phase) never became healthy" >&2; exit 1; fi
+    sleep 0.2
+done
+curl -fsS -X POST "$BASE/v1/runs?experiment=scenario:rw95&quick=1&scale=8&seed=1" > "$WORK/sub-a.json"
+curl -fsS -X POST "$BASE/v1/runs?experiment=scenario:kyoto&quick=1&scale=0.25" > "$WORK/sub-b.json"
+curl -fsS -X POST "$BASE/v1/runs?experiment=scenario:hamsterdb&quick=1&scale=0.25" > "$WORK/sub-c.json"
+KEY_A=$(sed -n 's/.*"key": "\([^"]*\)".*/\1/p' "$WORK/sub-a.json")
+KEY_B=$(sed -n 's/.*"key": "\([^"]*\)".*/\1/p' "$WORK/sub-b.json")
+KEY_C=$(sed -n 's/.*"key": "\([^"]*\)".*/\1/p' "$WORK/sub-c.json")
+[ -n "$KEY_A" ] && [ -n "$KEY_B" ] && [ -n "$KEY_C" ] || {
+    echo "missing keys in submit responses" >&2; exit 1; }
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+[ -s "$CACHE2/journal.jsonl" ] || {
+    echo "journal empty after SIGKILL with queued work" >&2; exit 1; }
+echo "   journal holds $(wc -l < "$CACHE2/journal.jsonl") entries; restarting"
+
+"$WORK/lockbench" serve -addr "127.0.0.1:$PORT" -cache "$CACHE2" -pool 2 &
+SERVER_PID=$!
+for i in $(seq 1 50); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    if [ "$i" = 50 ]; then echo "server never came back after SIGKILL" >&2; exit 1; fi
+    sleep 0.2
+done
+# GETs only from here: if the runs land, the journal replayed them.
+for KEY in "$KEY_A" "$KEY_B" "$KEY_C"; do
+    for i in $(seq 1 300); do
+        CODE=$(curl -s -o "$WORK/replayed-$KEY.json" -w '%{http_code}' "$BASE/v1/runs/$KEY")
+        [ "$CODE" = 200 ] && break
+        [ "$CODE" = 202 ] || { echo "replayed run $KEY answered $CODE" >&2; exit 1; }
+        if [ "$i" = 300 ]; then echo "journal replay never completed $KEY" >&2; exit 1; fi
+        sleep 1
+    done
+done
+
+echo "== replayed runs are byte-identical to direct CLI runs (modulo provenance)"
+"$WORK/lockbench" -experiment scenario:rw95 -quick -scale 8 -seed 1 -json "$WORK/ref-a" > /dev/null
+"$WORK/lockbench" -experiment scenario:kyoto -quick -scale 0.25 -json "$WORK/ref-b" > /dev/null
+"$WORK/lockbench" -experiment scenario:hamsterdb -quick -scale 0.25 -json "$WORK/ref-c" > /dev/null
+go run ./scripts/runcmp "$WORK/replayed-$KEY_A.json" "$WORK"/ref-a/*.json
+go run ./scripts/runcmp "$WORK/replayed-$KEY_B.json" "$WORK"/ref-b/*.json
+go run ./scripts/runcmp "$WORK/replayed-$KEY_C.json" "$WORK"/ref-c/*.json
+
+echo "== journal drains once the replayed runs land"
+for i in $(seq 1 50); do
+    [ ! -s "$CACHE2/journal.jsonl" ] && break
+    if [ "$i" = 50 ]; then echo "journal still holds entries after replay" >&2; exit 1; fi
+    sleep 0.2
+done
+kill "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+
+echo "== startup eviction enforces -cache-max-runs; auth and rate limits guard POSTs"
+"$WORK/lockbench" serve -addr "127.0.0.1:$PORT" -cache "$CACHE2" -cache-max-runs 1 \
+    -auth-token smoketoken -rate 0.1 -rate-burst 2 &
+SERVER_PID=$!
+for i in $(seq 1 50); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    if [ "$i" = 50 ]; then echo "server (guard phase) never became healthy" >&2; exit 1; fi
+    sleep 0.2
+done
+NRUNS=$(ls "$CACHE2"/*.json | wc -l)
+[ "$NRUNS" = 1 ] || { echo "cache holds $NRUNS runs after startup eviction, want 1" >&2; exit 1; }
+
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/runs?experiment=no-such-exp")
+[ "$CODE" = 401 ] || { echo "tokenless POST answered $CODE, want 401" >&2; exit 1; }
+# Two authenticated POSTs spend the burst of 2 (a 404 still consumes
+# budget — the guard runs before the handler); the third must be 429.
+for i in 1 2; do
+    CODE=$(curl -s -o /dev/null -w '%{http_code}' -H "Authorization: Bearer smoketoken" \
+        -X POST "$BASE/v1/runs?experiment=no-such-exp")
+    [ "$CODE" = 404 ] || { echo "authed POST $i answered $CODE, want 404" >&2; exit 1; }
+done
+curl -s -D "$WORK/429.hdr" -o /dev/null -H "Authorization: Bearer smoketoken" \
+    -X POST "$BASE/v1/runs?experiment=no-such-exp"
+grep -q "^HTTP/1.1 429" "$WORK/429.hdr" || {
+    echo "budget exhaustion did not answer 429:" >&2; cat "$WORK/429.hdr" >&2; exit 1; }
+grep -qi "^Retry-After:" "$WORK/429.hdr" || {
+    echo "429 without a Retry-After header:" >&2; cat "$WORK/429.hdr" >&2; exit 1; }
 
 echo "serve smoke: OK"
